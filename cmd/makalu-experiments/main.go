@@ -1,0 +1,92 @@
+// Command makalu-experiments regenerates the paper's tables and
+// figures (DESIGN.md experiments E1–E11). Each experiment prints a
+// paper-style text table; figures print their data series.
+//
+// Usage:
+//
+//	makalu-experiments -exp table1 -n 100000 -queries 1000
+//	makalu-experiments -exp all                 # scaled-down defaults
+//
+// Experiments: paths (E1), spectrum (E2), fig1 (E3), table1 (E4),
+// duplicates (E5), fig2 (E6), fig3 (E7), fig4 (E8), abf-vs-dht (E9),
+// table2 (E10), resilience (E11), expansion (E12), low-replication
+// (E13), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"makalu/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (paths, spectrum, fig1, table1, duplicates, fig2, fig3, fig4, abf-vs-dht, table2, resilience, expansion, low-replication, strategies, convergence, all)")
+		n       = flag.Int("n", 2000, "network size (paper scale: 100000)")
+		queries = flag.Int("queries", 300, "queries per measurement point")
+		seed    = flag.Int64("seed", 1, "master random seed")
+		sources = flag.Int("sources", 500, "BFS/Dijkstra sources for path analysis (0 = exact)")
+		plotDir = flag.String("plot", "", "write gnuplot .dat/.gp files for figures to this directory")
+	)
+	flag.Parse()
+	opt := experiments.Options{N: *n, Queries: *queries, Seed: *seed}
+
+	type runner struct {
+		id  string
+		run func() (interface{ Render() string }, error)
+	}
+	runners := []runner{
+		{"paths", func() (interface{ Render() string }, error) { return experiments.RunPaths(opt, *sources) }},
+		{"spectrum", func() (interface{ Render() string }, error) { return experiments.RunConnectivity(opt) }},
+		{"fig1", func() (interface{ Render() string }, error) { return experiments.RunFigure1(opt) }},
+		{"table1", func() (interface{ Render() string }, error) { return experiments.RunTable1(opt) }},
+		{"duplicates", func() (interface{ Render() string }, error) { return experiments.RunDuplicates(opt, 4, 0.01) }},
+		{"fig2", func() (interface{ Render() string }, error) { return experiments.RunFigure2(opt) }},
+		{"fig3", func() (interface{ Render() string }, error) { return experiments.RunFigure3(opt) }},
+		{"fig4", func() (interface{ Render() string }, error) { return experiments.RunFigure4(opt) }},
+		{"abf-vs-dht", func() (interface{ Render() string }, error) { return experiments.RunABFvsDHT(opt, 0.01) }},
+		{"table2", func() (interface{ Render() string }, error) { return experiments.RunTable2(opt) }},
+		{"resilience", func() (interface{ Render() string }, error) { return experiments.RunResilience(opt) }},
+		{"expansion", func() (interface{ Render() string }, error) { return experiments.RunExpansion(opt) }},
+		{"low-replication", func() (interface{ Render() string }, error) { return experiments.RunLowReplication(opt) }},
+		{"strategies", func() (interface{ Render() string }, error) { return experiments.RunStrategies(opt) }},
+		{"convergence", func() (interface{ Render() string }, error) { return experiments.RunConvergence(opt, 10) }},
+	}
+
+	matched := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.id {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		res, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		if *plotDir != "" {
+			if pw, ok := res.(experiments.PlotWriter); ok {
+				if err := os.MkdirAll(*plotDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if err := pw.WritePlotData(*plotDir); err != nil {
+					fmt.Fprintf(os.Stderr, "plot export for %s failed: %v\n", r.id, err)
+					os.Exit(1)
+				}
+				fmt.Printf("[%s plot data written to %s]\n", r.id, *plotDir)
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

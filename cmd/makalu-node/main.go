@@ -1,0 +1,121 @@
+// Command makalu-node runs one live Makalu peer: it listens on a TCP
+// address, optionally joins an existing network through a seed peer,
+// stores objects, and can issue flooding queries. Several instances
+// on one machine (or many) form a real Makalu network.
+//
+// Usage:
+//
+//	# first node
+//	makalu-node -listen 127.0.0.1:4001 -store 1001,1002
+//	# join and query
+//	makalu-node -listen 127.0.0.1:4002 -seed 127.0.0.1:4001 -query 1001 -ttl 5
+//	# long-running member
+//	makalu-node -listen 127.0.0.1:4003 -seed 127.0.0.1:4001 -run 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"makalu/peer"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		seedAddr = flag.String("seed", "", "seed peer to bootstrap from")
+		capacity = flag.Int("capacity", 10, "maximum neighbor count")
+		store    = flag.String("store", "", "comma-separated object ids to host")
+		query    = flag.String("query", "", "object id to search for (decimal or 0x hex)")
+		ttl      = flag.Int("ttl", 5, "query TTL")
+		wait     = flag.Duration("wait", 5*time.Second, "how long to await query hits")
+		run      = flag.Duration("run", 0, "stay online this long after setup (0 = exit after query)")
+		seed     = flag.Int64("rng-seed", time.Now().UnixNano(), "local randomness seed")
+	)
+	flag.Parse()
+
+	node, err := peer.Start(*listen, peer.DefaultNodeConfig(*capacity, *seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer node.Close()
+	fmt.Printf("node listening on %s (capacity %d)\n", node.Addr(), *capacity)
+
+	for _, tok := range strings.Split(*store, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		obj, err := parseID(tok)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad object id %q: %v\n", tok, err)
+			os.Exit(2)
+		}
+		node.AddObject(obj)
+		fmt.Printf("hosting object %#x\n", obj)
+	}
+
+	if *seedAddr != "" {
+		if err := node.Bootstrap(*seedAddr, 3*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "bootstrap via %s failed: %v\n", *seedAddr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("joined network: %d neighbors %v\n", node.Degree(), node.Neighbors())
+	}
+
+	if *query != "" {
+		obj, err := parseID(*query)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad query id %q: %v\n", *query, err)
+			os.Exit(2)
+		}
+		id := node.Query(obj, *ttl)
+		fmt.Printf("query %#x for object %#x (TTL %d)...\n", id, obj, *ttl)
+		deadline := time.After(*wait)
+		hits := 0
+	collect:
+		for {
+			select {
+			case h := <-node.Hits():
+				hits++
+				fmt.Printf("  hit: object %#x held by %s\n", h.Object, h.Holder)
+			case <-deadline:
+				break collect
+			}
+		}
+		if hits == 0 {
+			fmt.Println("no hits")
+		}
+	}
+
+	if *run > 0 {
+		fmt.Printf("staying online for %v...\n", *run)
+		end := time.After(*run)
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-end:
+				fmt.Println("shutting down")
+				return
+			case <-tick.C:
+				fmt.Printf("status: %d neighbors, %d queries processed\n",
+					node.Degree(), node.QueriesForwarded())
+			case h := <-node.Hits():
+				fmt.Printf("  hit: object %#x held by %s\n", h.Object, h.Holder)
+			}
+		}
+	}
+}
+
+func parseID(s string) (uint64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}

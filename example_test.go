@@ -1,0 +1,84 @@
+package makalu_test
+
+import (
+	"fmt"
+
+	"makalu"
+)
+
+// Example builds a small overlay and runs a flooding search — the
+// quickstart workflow.
+func Example() {
+	ov, err := makalu.New(makalu.Config{Nodes: 500, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	content, err := ov.PlaceContent(10, 0.05) // 10 objects, 5% replication
+	if err != nil {
+		panic(err)
+	}
+	obj := content.Objects()[0]
+	res := ov.Flood(0, 4, content.Matcher(obj))
+	fmt.Println("found:", res.Found)
+	// Output:
+	// found: true
+}
+
+// ExampleOverlay_FailTopDegree demonstrates the paper's fault-
+// tolerance claim: the overlay survives losing its best-connected 30%.
+func ExampleOverlay_FailTopDegree() {
+	ov, err := makalu.New(makalu.Config{Nodes: 500, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	ov.FailTopDegree(150)
+	st := ov.Stats(100)
+	fmt.Println("live:", st.Live)
+	fmt.Println("one component:", st.Components == 1 || st.GiantFraction > 0.97)
+	// Output:
+	// live: 350
+	// one component: true
+}
+
+// ExampleOverlay_BuildIdentifierIndex shows exact-identifier search
+// over attenuated Bloom filters (§4.6).
+func ExampleOverlay_BuildIdentifierIndex() {
+	ov, err := makalu.New(makalu.Config{Nodes: 500, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	content, err := ov.PlaceContent(10, 0.02)
+	if err != nil {
+		panic(err)
+	}
+	index, err := ov.BuildIdentifierIndex(content)
+	if err != nil {
+		panic(err)
+	}
+	res := index.Lookup(0, content.Objects()[0], 25)
+	fmt.Println("found:", res.Found, "— cheap:", res.Messages < 25)
+	// Output:
+	// found: true — cheap: true
+}
+
+// ExampleOverlay_RateNeighbors exposes the paper's peer rating
+// function: every neighbor's score decomposes into a connectivity and
+// a proximity term.
+func ExampleOverlay_RateNeighbors() {
+	ov, err := makalu.New(makalu.Config{Nodes: 300, Seed: 4})
+	if err != nil {
+		panic(err)
+	}
+	ratings := ov.RateNeighbors(7)
+	consistent := true
+	for _, r := range ratings {
+		if r.Score != r.Connectivity+r.Proximity {
+			consistent = false
+		}
+	}
+	fmt.Println("neighbors rated:", len(ratings) == ov.Degree(7))
+	fmt.Println("decomposition holds:", consistent)
+	// Output:
+	// neighbors rated: true
+	// decomposition holds: true
+}

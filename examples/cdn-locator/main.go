@@ -1,0 +1,86 @@
+// CDN locator: exact-identifier object location over attenuated Bloom
+// filters (the paper's §4.6 mechanism, Figure 4's workload) compared
+// against a Chord DHT on the same node population — the "comparable
+// to structured P2P systems" claim, measured.
+//
+//	go run ./examples/cdn-locator
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"makalu"
+	"makalu/internal/dht"
+)
+
+func main() {
+	const n = 5000
+	ov, err := makalu.New(makalu.Config{Nodes: n, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	chord, err := dht.New(n, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s | %-30s | %-18s\n", "replication", "Makalu + attenuated Bloom", "Chord DHT")
+	fmt.Printf("%-12s | %9s %9s %10s | %9s %8s\n",
+		"", "success", "mean-msg", "p95-msg", "success", "hops")
+
+	rng := rand.New(rand.NewSource(25))
+	for _, repl := range []float64{0.001, 0.005, 0.01} {
+		content, err := ov.PlaceContent(50, repl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		index, err := ov.BuildIdentifierIndex(content)
+		if err != nil {
+			log.Fatal(err)
+		}
+		const queries = 500
+		const ttl = 25
+		found := 0
+		var msgs []int
+		chordHops := 0
+		for q := 0; q < queries; q++ {
+			obj := content.Objects()[rng.Intn(50)]
+			src := rng.Intn(n)
+			res := index.Lookup(src, obj, ttl)
+			if res.Found {
+				found++
+				msgs = append(msgs, res.Messages)
+			}
+			_, hops := chord.Lookup(src, obj)
+			chordHops += hops
+		}
+		mean, p95 := summarize(msgs)
+		fmt.Printf("%11.1f%% | %8.1f%% %9.2f %10d | %9s %8.2f\n",
+			repl*100, 100*float64(found)/queries, mean, p95,
+			"100.0%", float64(chordHops)/queries)
+	}
+	fmt.Println("\nNote: Chord lookups always succeed by construction; the ABF search")
+	fmt.Println("trades a small failure rate at very low replication for requiring no")
+	fmt.Println("global structure — overlay repair under churn stays purely local.")
+}
+
+func summarize(xs []int) (mean float64, p95 int) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	// Insertion sort is fine for a few hundred samples.
+	sorted := append([]int(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return float64(sum) / float64(len(xs)), sorted[len(sorted)*95/100]
+}

@@ -1,0 +1,94 @@
+// Churn: subject a Makalu overlay to targeted failures and continuous
+// node churn, watching connectivity and search quality — the paper's
+// fault-tolerance story (§3.4, Figure 1) as a running system.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"makalu"
+	"makalu/internal/core"
+	"makalu/internal/netmodel"
+	"makalu/internal/sim"
+)
+
+func main() {
+	const n = 2000
+	ov, err := makalu.New(makalu.Config{Nodes: n, Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	content, err := ov.PlaceContent(50, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Phase 1: targeted failure of the best-connected nodes ===")
+	fmt.Printf("%8s %8s %12s %8s %10s %10s\n",
+		"failed", "live", "components", "giant", "diameter", "success")
+	for _, frac := range []float64{0, 0.10, 0.20, 0.30} {
+		// Rebuild for each fraction so failures do not compound.
+		ov2, err := makalu.New(makalu.Config{Nodes: n, Seed: 31})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if frac > 0 {
+			ov2.FailTopDegree(int(frac * n))
+		}
+		st := ov2.Stats(200)
+		success := measureSearch(ov2, content, 200)
+		fmt.Printf("%7.0f%% %8d %12d %7.1f%% %10d %9.1f%%\n",
+			frac*100, st.Live, st.Components, 100*st.GiantFraction, st.Diameter, 100*success)
+	}
+
+	fmt.Println("\n=== Phase 2: continuous churn with rejoin ===")
+	// The churn process drives the core overlay directly.
+	net := netmodel.NewEuclidean(n, 1000, 33)
+	overlay, err := core.Build(n, core.DefaultConfig(net, 33))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.ChurnConfig{
+		Duration:         300,
+		MeanSession:      60,
+		MeanDowntime:     15,
+		ManageInterval:   5,
+		SnapshotInterval: 30,
+		Seed:             35,
+	}
+	res, err := sim.RunChurn(overlay, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d departures, %d rejoins over %.0f time units\n",
+		res.Departures, res.Rejoins, cfg.Duration)
+	fmt.Printf("%8s %8s %12s %8s %10s\n", "time", "live", "components", "giant", "meandeg")
+	for _, s := range res.Timeline {
+		fmt.Printf("%8.1f %8d %12d %7.1f%% %10.2f\n",
+			s.Time, s.Live, s.Components, 100*s.GiantFraction, s.MeanDegree)
+	}
+}
+
+// measureSearch floods from random live sources and returns the
+// success rate. Dead sources are skipped.
+func measureSearch(ov *makalu.Overlay, c *makalu.Content, queries int) float64 {
+	rng := rand.New(rand.NewSource(37))
+	objs := c.Objects()
+	found, issued := 0, 0
+	for issued < queries {
+		src := rng.Intn(ov.Nodes())
+		if !ov.Alive(src) {
+			continue
+		}
+		issued++
+		obj := objs[rng.Intn(len(objs))]
+		if ov.Flood(src, 4, c.Matcher(obj)).Found {
+			found++
+		}
+	}
+	return float64(found) / float64(queries)
+}

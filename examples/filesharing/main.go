@@ -1,0 +1,76 @@
+// Filesharing: drive a Makalu overlay with a synthetic Gnutella-style
+// query trace (Poisson arrivals at the measured 2006 rate, Zipf object
+// popularity) and compare the resulting traffic against the measured
+// Gnutella ultrapeer figures — the workload behind the paper's
+// Table 2.
+//
+//	go run ./examples/filesharing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"makalu"
+	"makalu/internal/trace"
+)
+
+func main() {
+	const n = 5000
+	ov, err := makalu.New(makalu.Config{Nodes: n, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Worst-case content population: every object exists on exactly
+	// one node (replication 0 floors to a single copy).
+	catalogSize := 200
+	content, err := ov.PlaceContent(catalogSize, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A two-minute synthetic trace at the 2006 incoming query rate,
+	// with Zipf-skewed popularity as real file-sharing traces show.
+	profile := trace.Gnutella2006()
+	events, err := trace.GenerateStream(trace.StreamConfig{
+		Duration: 120,
+		Rate:     profile.QueriesPerSecond,
+		Objects:  catalogSize,
+		ZipfExp:  1.3,
+		Seed:     11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %d queries (%.2f q/s) over a %d-node Makalu overlay\n",
+		len(events), profile.QueriesPerSecond, n)
+
+	rng := rand.New(rand.NewSource(13))
+	const ttl = 5
+	found, messages := 0, 0
+	for _, ev := range events {
+		obj := content.Objects()[ev.Object]
+		res := ov.Flood(rng.Intn(n), ttl, content.Matcher(obj))
+		if res.Found {
+			found++
+		}
+		messages += res.Messages
+	}
+	successRate := float64(found) / float64(len(events))
+	fmt.Printf("flooding TTL %d, 1 replica/object: success %.1f%%, %.0f msgs/query network-wide\n",
+		ttl, 100*successRate, float64(messages)/float64(len(events)))
+
+	// Table 2 perspective: per-node outgoing load under the measured
+	// incoming query rate. A Makalu node forwards each query to
+	// (degree - 1) neighbors; the measured 2006 ultrapeer forwarded
+	// to 38.4.
+	rows := trace.Table2(profile, ov.MeanDegree()-1, successRate, ov.MeanDegree())
+	fmt.Printf("\n%-26s %14s %10s\n", "", rows[0].System, rows[1].System)
+	fmt.Printf("%-26s %14.2f %10.2f\n", "outgoing msgs/query", rows[0].MsgsPerQuery, rows[1].MsgsPerQuery)
+	fmt.Printf("%-26s %14.2f %10.2f\n", "outgoing msgs/second", rows[0].MsgsPerSecond, rows[1].MsgsPerSecond)
+	fmt.Printf("%-26s %13.1fk %9.2fk\n", "outgoing bandwidth (bps)", rows[0].OutgoingKbps, rows[1].OutgoingKbps)
+	fmt.Printf("%-26s %13.1f%% %9.1f%%\n", "query success rate", 100*rows[0].SuccessRate, 100*rows[1].SuccessRate)
+	fmt.Printf("%-26s %14.1f %10.2f\n", "neighbors per node", rows[0].NeighborsRequired, rows[1].NeighborsRequired)
+}

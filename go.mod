@@ -1,0 +1,3 @@
+module makalu
+
+go 1.22

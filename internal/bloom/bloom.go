@@ -1,0 +1,171 @@
+// Package bloom implements the Bloom filters behind Makalu's indexed
+// identifier search (§4.6): a plain bit-vector Bloom filter with
+// double hashing, and the attenuated Bloom filter of Rhea and
+// Kubiatowicz — a hierarchy of filters where level i summarizes the
+// content hosted exactly i hops away.
+package bloom
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/bits"
+)
+
+// Filter is a fixed-size Bloom filter over 64-bit keys. The zero
+// value is unusable; construct with New or NewOptimal.
+type Filter struct {
+	words []uint64
+	m     uint64 // number of bits
+	k     int    // hash functions
+	n     uint64 // insertions (for fill-rate estimates)
+}
+
+// New returns a filter with m bits and k hash functions.
+func New(m, k int) *Filter {
+	if m <= 0 || k <= 0 {
+		panic("bloom: m and k must be positive")
+	}
+	return &Filter{words: make([]uint64, (m+63)/64), m: uint64(m), k: k}
+}
+
+// NewOptimal sizes a filter for the expected number of items at the
+// target false-positive rate using the standard formulas
+// m = -n·ln(p)/ln(2)², k = (m/n)·ln(2).
+func NewOptimal(expected int, fpRate float64) *Filter {
+	if expected <= 0 {
+		expected = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		panic("bloom: false-positive rate must be in (0, 1)")
+	}
+	m := int(math.Ceil(-float64(expected) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(expected) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return New(m, k)
+}
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() int { return int(f.m) }
+
+// Hashes returns the number of hash functions.
+func (f *Filter) Hashes() int { return f.k }
+
+// Insertions returns the number of Add calls (duplicates included).
+func (f *Filter) Insertions() int { return int(f.n) }
+
+// mix is splitmix64: the double-hashing basis for 64-bit keys.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// indexes derives the k bit positions of key via double hashing:
+// position_i = (h1 + i*h2) mod m with h2 forced odd.
+func (f *Filter) index(key uint64, i int) uint64 {
+	h1 := mix(key)
+	h2 := mix(key^0xabcdef1234567890) | 1
+	return (h1 + uint64(i)*h2) % f.m
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key uint64) {
+	for i := 0; i < f.k; i++ {
+		p := f.index(key, i)
+		f.words[p/64] |= 1 << (p % 64)
+	}
+	f.n++
+}
+
+// AddString inserts a string key (FNV-1a hashed to 64 bits).
+func (f *Filter) AddString(s string) { f.Add(HashString(s)) }
+
+// Contains reports whether key may have been inserted. False
+// positives occur at the filter's fill-dependent rate; false
+// negatives never.
+func (f *Filter) Contains(key uint64) bool {
+	for i := 0; i < f.k; i++ {
+		p := f.index(key, i)
+		if f.words[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsString is Contains for string keys.
+func (f *Filter) ContainsString(s string) bool { return f.Contains(HashString(s)) }
+
+// HashString maps a string to the 64-bit key space via FNV-1a.
+func HashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Union ORs other into f. Both filters must have identical geometry.
+func (f *Filter) Union(other *Filter) error {
+	if f.m != other.m || f.k != other.k {
+		return fmt.Errorf("bloom: union of mismatched filters (%d/%d bits, %d/%d hashes)",
+			f.m, other.m, f.k, other.k)
+	}
+	for i, w := range other.words {
+		f.words[i] |= w
+	}
+	f.n += other.n
+	return nil
+}
+
+// Reset clears all bits.
+func (f *Filter) Reset() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+	f.n = 0
+}
+
+// Clone returns a deep copy.
+func (f *Filter) Clone() *Filter {
+	c := &Filter{words: append([]uint64(nil), f.words...), m: f.m, k: f.k, n: f.n}
+	return c
+}
+
+// PopCount returns the number of set bits.
+func (f *Filter) PopCount() int {
+	total := 0
+	for _, w := range f.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	return float64(f.PopCount()) / float64(f.m)
+}
+
+// EstimatedFPRate estimates the current false-positive probability as
+// fill^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+// Empty reports whether no bits are set.
+func (f *Filter) Empty() bool {
+	for _, w := range f.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

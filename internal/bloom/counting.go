@@ -1,0 +1,109 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// CountingFilter is a Bloom filter with 8-bit counters instead of
+// bits, supporting Remove — the building block for keeping attenuated
+// filters current when content leaves a node or a neighbor departs
+// (churn), where a plain filter would need a full rebuild. A plain
+// Filter snapshot can be exported for the wire at any time.
+type CountingFilter struct {
+	counts []uint8
+	m      uint64
+	k      int
+	n      uint64
+}
+
+// NewCounting returns a counting filter with m counters and k hashes.
+func NewCounting(m, k int) *CountingFilter {
+	if m <= 0 || k <= 0 {
+		panic("bloom: m and k must be positive")
+	}
+	return &CountingFilter{counts: make([]uint8, m), m: uint64(m), k: k}
+}
+
+// Bits returns the counter count (the m parameter).
+func (f *CountingFilter) Bits() int { return int(f.m) }
+
+// Hashes returns the number of hash functions.
+func (f *CountingFilter) Hashes() int { return f.k }
+
+// Insertions returns the net insertion count (adds minus removes).
+func (f *CountingFilter) Insertions() int { return int(f.n) }
+
+func (f *CountingFilter) index(key uint64, i int) uint64 {
+	h1 := mix(key)
+	h2 := mix(key^0xabcdef1234567890) | 1
+	return (h1 + uint64(i)*h2) % f.m
+}
+
+// Add inserts a key. Counters saturate at 255 rather than wrapping —
+// a saturated counter can no longer be decremented reliably, so a
+// Remove against it leaves the counter untouched (erring towards
+// false positives, never false negatives).
+func (f *CountingFilter) Add(key uint64) {
+	for i := 0; i < f.k; i++ {
+		p := f.index(key, i)
+		if f.counts[p] < math.MaxUint8 {
+			f.counts[p]++
+		}
+	}
+	f.n++
+}
+
+// Remove deletes one insertion of key. Removing a key that was never
+// added corrupts the filter (as with every counting Bloom filter), so
+// callers must only remove what they added; it returns an error when
+// the key is definitely absent, as a guard against that misuse.
+func (f *CountingFilter) Remove(key uint64) error {
+	// Verify presence first so an absent key cannot underflow others.
+	for i := 0; i < f.k; i++ {
+		if f.counts[f.index(key, i)] == 0 {
+			return fmt.Errorf("bloom: removing absent key %#x", key)
+		}
+	}
+	for i := 0; i < f.k; i++ {
+		p := f.index(key, i)
+		if f.counts[p] > 0 && f.counts[p] < math.MaxUint8 {
+			f.counts[p]--
+		}
+	}
+	if f.n > 0 {
+		f.n--
+	}
+	return nil
+}
+
+// Contains reports whether key may be present.
+func (f *CountingFilter) Contains(key uint64) bool {
+	for i := 0; i < f.k; i++ {
+		if f.counts[f.index(key, i)] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot exports the current membership as a plain Filter with the
+// same geometry — the form peers exchange on the wire.
+func (f *CountingFilter) Snapshot() *Filter {
+	out := New(int(f.m), f.k)
+	for p, c := range f.counts {
+		if c > 0 {
+			out.words[p/64] |= 1 << (uint(p) % 64)
+		}
+	}
+	out.n = f.n
+	return out
+}
+
+// Reset clears all counters.
+func (f *CountingFilter) Reset() {
+	for i := range f.counts {
+		f.counts[i] = 0
+	}
+	f.n = 0
+}

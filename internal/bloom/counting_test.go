@@ -1,0 +1,154 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountingAddRemove(t *testing.T) {
+	f := NewCounting(1024, 4)
+	f.Add(42)
+	if !f.Contains(42) {
+		t.Fatal("added key missing")
+	}
+	if err := f.Remove(42); err != nil {
+		t.Fatal(err)
+	}
+	if f.Contains(42) {
+		t.Fatal("removed key still present")
+	}
+	if f.Insertions() != 0 {
+		t.Fatalf("net insertions = %d", f.Insertions())
+	}
+}
+
+func TestCountingRemoveAbsentRejected(t *testing.T) {
+	f := NewCounting(1024, 4)
+	f.Add(1)
+	if err := f.Remove(2); err == nil {
+		t.Fatal("removing an absent key should error")
+	}
+	if !f.Contains(1) {
+		t.Fatal("failed remove corrupted other keys")
+	}
+}
+
+func TestCountingNoFalseNegativesUnderChurnProperty(t *testing.T) {
+	prop := func(addsRaw []uint16, removeMask uint64) bool {
+		f := NewCounting(4096, 4)
+		// Deduplicate adds so each key is inserted exactly once.
+		adds := map[uint64]bool{}
+		for _, a := range addsRaw {
+			adds[uint64(a)+1] = true
+		}
+		for k := range adds {
+			f.Add(k)
+		}
+		// Remove a subset.
+		removed := map[uint64]bool{}
+		i := 0
+		for k := range adds {
+			if removeMask&(1<<(uint(i)%64)) != 0 {
+				if err := f.Remove(k); err != nil {
+					return false
+				}
+				removed[k] = true
+			}
+			i++
+		}
+		// Every surviving key must still be present.
+		for k := range adds {
+			if !removed[k] && !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingDuplicateInsertions(t *testing.T) {
+	f := NewCounting(512, 3)
+	f.Add(7)
+	f.Add(7)
+	if err := f.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Contains(7) {
+		t.Fatal("one removal of a doubly-added key must leave it present")
+	}
+	if err := f.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	if f.Contains(7) {
+		t.Fatal("both copies removed; key should be gone")
+	}
+}
+
+func TestCountingSaturation(t *testing.T) {
+	f := NewCounting(64, 1)
+	// Saturate one counter far past 255.
+	for i := 0; i < 300; i++ {
+		f.Add(9)
+	}
+	// Removing at saturation must not clear the counter (no false
+	// negatives ever).
+	for i := 0; i < 300; i++ {
+		if err := f.Remove(9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !f.Contains(9) {
+		t.Fatal("saturated counter decremented to zero: false negative risk")
+	}
+}
+
+func TestCountingSnapshotMatchesMembership(t *testing.T) {
+	f := NewCounting(2048, 4)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys[:50] {
+		if err := f.Remove(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := f.Snapshot()
+	if snap.Bits() != f.Bits() || snap.Hashes() != f.Hashes() {
+		t.Fatal("snapshot geometry mismatch")
+	}
+	for _, k := range keys[50:] {
+		if !snap.Contains(k) {
+			t.Fatal("snapshot lost a surviving key")
+		}
+	}
+	// A snapshot is a plain filter: it unions with same-geometry peers.
+	other := New(2048, 4)
+	if err := other.Union(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCounting(0, 2)
+}
+
+func TestCountingReset(t *testing.T) {
+	f := NewCounting(64, 2)
+	f.Add(5)
+	f.Reset()
+	if f.Contains(5) || f.Insertions() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,126 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format of a Filter:
+//
+//	magic   uint32  "MBF1"
+//	m       uint64  bits
+//	k       uint32  hash functions
+//	n       uint64  insertions
+//	words   []uint64 (little endian, ceil(m/64) entries)
+//
+// An Attenuated hierarchy is a uint32 level count followed by each
+// level's filter. Peers exchange these blobs when they establish a
+// connection (§4.6: "they exchanged routing tables and their
+// corresponding attenuated Bloom filters").
+
+const filterMagic = 0x4d424631 // "MBF1"
+
+// MarshalBinary encodes the filter in the wire format above.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 4+8+4+8+8*len(f.words))
+	binary.LittleEndian.PutUint32(buf[0:], filterMagic)
+	binary.LittleEndian.PutUint64(buf[4:], f.m)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(f.k))
+	binary.LittleEndian.PutUint64(buf[16:], f.n)
+	off := 24
+	for _, w := range f.words {
+		binary.LittleEndian.PutUint64(buf[off:], w)
+		off += 8
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a filter encoded by MarshalBinary,
+// replacing the receiver's state. It validates the header and length
+// so corrupt frames are rejected rather than misread.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return fmt.Errorf("bloom: frame too short (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != filterMagic {
+		return fmt.Errorf("bloom: bad magic")
+	}
+	m := binary.LittleEndian.Uint64(data[4:])
+	k := binary.LittleEndian.Uint32(data[12:])
+	n := binary.LittleEndian.Uint64(data[16:])
+	if m == 0 || k == 0 || k > 64 {
+		return fmt.Errorf("bloom: invalid geometry m=%d k=%d", m, k)
+	}
+	words := int((m + 63) / 64)
+	if len(data) != 24+8*words {
+		return fmt.Errorf("bloom: frame length %d does not match m=%d", len(data), m)
+	}
+	f.m = m
+	f.k = int(k)
+	f.n = n
+	f.words = make([]uint64, words)
+	off := 24
+	for i := range f.words {
+		f.words[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	// Bits beyond m in the last word must be zero, or Union/Contains
+	// invariants break after decode.
+	if rem := m % 64; rem != 0 {
+		if f.words[words-1]>>rem != 0 {
+			return fmt.Errorf("bloom: set bits beyond filter size")
+		}
+	}
+	return nil
+}
+
+// MarshalBinary encodes the hierarchy: level count then each level.
+func (a *Attenuated) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 4)
+	binary.LittleEndian.PutUint32(out, uint32(len(a.Levels)))
+	for _, f := range a.Levels {
+		b, err := f.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(b)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a hierarchy encoded by MarshalBinary.
+func (a *Attenuated) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("bloom: attenuated frame too short")
+	}
+	levels := binary.LittleEndian.Uint32(data)
+	if levels == 0 || levels > 64 {
+		return fmt.Errorf("bloom: implausible level count %d", levels)
+	}
+	data = data[4:]
+	decoded := make([]*Filter, 0, levels)
+	for i := uint32(0); i < levels; i++ {
+		if len(data) < 4 {
+			return fmt.Errorf("bloom: truncated at level %d", i)
+		}
+		n := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < n {
+			return fmt.Errorf("bloom: level %d truncated", i)
+		}
+		f := &Filter{}
+		if err := f.UnmarshalBinary(data[:n]); err != nil {
+			return fmt.Errorf("bloom: level %d: %w", i, err)
+		}
+		decoded = append(decoded, f)
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("bloom: %d trailing bytes", len(data))
+	}
+	a.Levels = decoded
+	return nil
+}

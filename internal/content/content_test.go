@@ -1,0 +1,326 @@
+package content
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaceValidation(t *testing.T) {
+	if _, err := Place(0, PlacementConfig{Objects: 1}); err == nil {
+		t.Fatal("zero nodes should fail")
+	}
+	if _, err := Place(10, PlacementConfig{Objects: 0}); err == nil {
+		t.Fatal("zero objects should fail")
+	}
+	if _, err := Place(10, PlacementConfig{Objects: 1, Replication: 1.5}); err == nil {
+		t.Fatal("replication > 1 should fail")
+	}
+	if _, err := Place(10, PlacementConfig{Objects: 1, Replication: -0.1}); err == nil {
+		t.Fatal("negative replication should fail")
+	}
+}
+
+func TestPlaceReplicaCounts(t *testing.T) {
+	n := 1000
+	s, err := Place(n, PlacementConfig{Objects: 50, Replication: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range s.Objects() {
+		if got := s.ReplicaCount(obj); got != 10 {
+			t.Fatalf("object %x has %d replicas, want 10", obj, got)
+		}
+	}
+}
+
+func TestPlaceMinReplicasFloor(t *testing.T) {
+	s, err := Place(100, PlacementConfig{Objects: 5, Replication: 0.0001, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range s.Objects() {
+		if s.ReplicaCount(obj) != 1 {
+			t.Fatalf("replica floor violated: %d", s.ReplicaCount(obj))
+		}
+	}
+	// Explicit higher floor.
+	s2, err := Place(100, PlacementConfig{Objects: 5, Replication: 0, MinReplicas: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range s2.Objects() {
+		if s2.ReplicaCount(obj) != 3 {
+			t.Fatalf("MinReplicas not honored: %d", s2.ReplicaCount(obj))
+		}
+	}
+}
+
+func TestPlaceReplicationClampsToN(t *testing.T) {
+	s, err := Place(10, PlacementConfig{Objects: 2, Replication: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range s.Objects() {
+		if s.ReplicaCount(obj) != 10 {
+			t.Fatalf("full replication should hit every node, got %d", s.ReplicaCount(obj))
+		}
+	}
+}
+
+func TestPlaceConsistency(t *testing.T) {
+	n := 500
+	s, err := Place(n, PlacementConfig{Objects: 40, Replication: 0.02, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Has() agrees with Replicas() and NodeObjects() both ways.
+	for _, obj := range s.Objects() {
+		for _, h := range s.Replicas(obj) {
+			if !s.Has(int(h), obj) {
+				t.Fatalf("replica list says node %d hosts %x but Has disagrees", h, obj)
+			}
+		}
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		for _, obj := range s.NodeObjects(u) {
+			total++
+			found := false
+			for _, h := range s.Replicas(obj) {
+				if int(h) == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("node %d hosts %x but is missing from replica list", u, obj)
+			}
+		}
+	}
+	if total != 40*10 {
+		t.Fatalf("total placements = %d, want 400", total)
+	}
+}
+
+func TestPlaceDistinctHosts(t *testing.T) {
+	s, err := Place(50, PlacementConfig{Objects: 20, Replication: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range s.Objects() {
+		hosts := s.Replicas(obj)
+		for i := 1; i < len(hosts); i++ {
+			if hosts[i] == hosts[i-1] {
+				t.Fatalf("duplicate host %d for object %x", hosts[i], obj)
+			}
+		}
+	}
+}
+
+func TestPlaceUniformity(t *testing.T) {
+	// With many objects, per-node load should concentrate around the
+	// mean (binomial): no node wildly over- or under-loaded.
+	n := 200
+	s, err := Place(n, PlacementConfig{Objects: 2000, Replication: 0.05, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 2000.0 * 10.0 / 200.0 // copies per object = 10
+	for u := 0; u < n; u++ {
+		load := float64(len(s.NodeObjects(u)))
+		if math.Abs(load-mean) > 5*math.Sqrt(mean) {
+			t.Fatalf("node %d load %v, mean %v: placement not uniform", u, load, mean)
+		}
+	}
+}
+
+func TestObjectIDStability(t *testing.T) {
+	if ObjectID(1, 0) != ObjectID(1, 0) {
+		t.Fatal("ObjectID must be deterministic")
+	}
+	if ObjectID(1, 0) == ObjectID(1, 1) || ObjectID(1, 0) == ObjectID(2, 0) {
+		t.Fatal("ObjectID collisions across index/seed")
+	}
+}
+
+func TestRandomObject(t *testing.T) {
+	s, err := Place(50, PlacementConfig{Objects: 10, Replication: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		obj := s.RandomObject(rng)
+		if s.ReplicaCount(obj) == 0 {
+			t.Fatal("random object has no replicas")
+		}
+	}
+}
+
+func TestQRPTable(t *testing.T) {
+	s, err := Place(100, PlacementConfig{Objects: 30, Replication: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := int(s.Replicas(s.Objects()[0])[0])
+	q := BuildQRPTable(s, node, 4096, 4)
+	for _, obj := range s.NodeObjects(node) {
+		if !q.MayMatch(obj) {
+			t.Fatalf("QRP table false negative for hosted object %x", obj)
+		}
+	}
+}
+
+func TestGenerateCatalog(t *testing.T) {
+	c, err := GenerateCatalog(500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumObjects() != 500 {
+		t.Fatalf("catalog size %d", c.NumObjects())
+	}
+	for i := 0; i < 500; i++ {
+		if c.Names[i] == "" || len(c.Keywords(i)) != 4 {
+			t.Fatalf("object %d malformed: %q %v", i, c.Names[i], c.Keywords(i))
+		}
+	}
+	if _, err := GenerateCatalog(0, 1); err == nil {
+		t.Fatal("empty catalog should fail")
+	}
+}
+
+func TestCatalogIDsMatchStore(t *testing.T) {
+	seed := int64(13)
+	c, err := GenerateCatalog(20, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Place(100, PlacementConfig{Objects: 20, Replication: 0.05, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range c.IDs {
+		if s.Objects()[i] != id {
+			t.Fatalf("catalog/store id mismatch at %d", i)
+		}
+	}
+}
+
+func TestQueryForFullySpecific(t *testing.T) {
+	c, err := GenerateCatalog(300, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	q := c.QueryFor(7, 4, rng)
+	if len(q.Terms) != 4 {
+		t.Fatalf("full query has %d terms", len(q.Terms))
+	}
+	if !c.Matches(7, q) {
+		t.Fatal("object must match its own full query")
+	}
+	// The 4-term query includes the unique serial keyword, so only
+	// objects sharing all four keywords match — nearly always just
+	// object 7 itself.
+	matches := c.MatchingObjects(q)
+	found := false
+	for _, m := range matches {
+		if m == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("MatchingObjects must include the source object")
+	}
+}
+
+func TestQueryForWildcardMatchesMore(t *testing.T) {
+	c, err := GenerateCatalog(2000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(18))
+	// A 1-term query is a broad wildcard: it should usually match
+	// many objects.
+	broad, narrow := 0, 0
+	for i := 0; i < 20; i++ {
+		q1 := c.QueryFor(i, 1, rng)
+		q4 := c.QueryFor(i, 4, rng)
+		broad += len(c.MatchingObjects(q1))
+		narrow += len(c.MatchingObjects(q4))
+	}
+	if broad <= narrow {
+		t.Fatalf("wildcard queries should match more objects: %d vs %d", broad, narrow)
+	}
+}
+
+func TestQueryForClamping(t *testing.T) {
+	c, err := GenerateCatalog(10, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	if got := len(c.QueryFor(0, 99, rng).Terms); got != 4 {
+		t.Fatalf("over-asking should clamp to 4, got %d", got)
+	}
+	if got := len(c.QueryFor(0, 0, rng).Terms); got != 1 {
+		t.Fatalf("under-asking should clamp to 1, got %d", got)
+	}
+}
+
+func TestMatchingNodes(t *testing.T) {
+	seed := int64(21)
+	c, err := GenerateCatalog(30, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Place(200, PlacementConfig{Objects: 30, Replication: 0.05, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	q := c.QueryFor(3, 4, rng)
+	nodes := c.MatchingNodes(q, s)
+	if len(nodes) == 0 {
+		t.Fatal("a full query must match the source object's replicas")
+	}
+	// Every replica of object 3 must be in the node set.
+	for _, h := range s.Replicas(c.IDs[3]) {
+		found := false
+		for _, x := range nodes {
+			if x == h {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("replica %d missing from matching nodes", h)
+		}
+	}
+	// Sorted and deduplicated.
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] <= nodes[i-1] {
+			t.Fatal("matching nodes not sorted/deduplicated")
+		}
+	}
+}
+
+func TestMatchesProperty(t *testing.T) {
+	c, err := GenerateCatalog(100, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(objRaw uint8, termsRaw uint8, seed int64) bool {
+		obj := int(objRaw) % 100
+		terms := int(termsRaw)%4 + 1
+		rng := rand.New(rand.NewSource(seed))
+		q := c.QueryFor(obj, terms, rng)
+		// An object always matches a query built from its own terms.
+		return c.Matches(obj, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,409 @@
+package core
+
+import "makalu/internal/graph"
+
+// graphUnreachable aliases the graph package's unreached marker.
+const graphUnreachable = graph.Unreachable
+
+// This file implements the connection-management protocol of §2.2:
+// joining through a seeded random walk, accepting connections, and the
+// Manage() loop that prunes over-capacity neighbor sets with the
+// rating function.
+
+// randomWalkCandidates performs a random walk of cfg.WalkLength steps
+// starting at seed over alive nodes and collects up to
+// cfg.CandidateSetSize distinct visited nodes (excluding u and u's
+// current neighbors). A walk that hits a dead end (isolated node)
+// restarts from the seed.
+//
+// Two details keep the candidate set expansion-friendly, serving the
+// algorithm's stated objective of maximizing the expansion from each
+// node's neighborhood (§2.1):
+//
+//   - samples are spaced two walk steps apart, so consecutive
+//     candidates are not overlay-adjacent (connecting to adjacent
+//     walk nodes would wire triangles into u's neighborhood);
+//   - nodes already visible in u's node boundary ∂Γ(u) — knowledge u
+//     has locally from its neighbors' exchanged views — are only
+//     accepted as trailing fallbacks, preferring candidates that add
+//     genuinely new reach.
+func (o *Overlay) randomWalkCandidates(u, seed int, out []int32) []int32 {
+	out = out[:0]
+	if !o.alive[seed] {
+		return out
+	}
+	var fallback []int32
+	contains := func(s []int32, x int) bool {
+		for _, c := range s {
+			if int(c) == x {
+				return true
+			}
+		}
+		return false
+	}
+	maybeAdd := func(x int) {
+		if x == u || o.g.HasEdge(u, x) || !o.alive[x] {
+			return
+		}
+		if contains(out, x) || contains(fallback, x) {
+			return
+		}
+		if o.inBoundary(u, x) {
+			fallback = append(fallback, int32(x))
+			return
+		}
+		out = append(out, int32(x))
+	}
+	cur := seed
+	maybeAdd(cur)
+	for step := 0; step < o.cfg.WalkLength && len(out) < o.cfg.CandidateSetSize; step++ {
+		nb := o.g.Neighbors(cur)
+		// Walk only over alive neighbors.
+		next := -1
+		for tries := 0; tries < 4 && len(nb) > 0; tries++ {
+			cand := int(nb[o.rng.Intn(len(nb))])
+			if o.alive[cand] {
+				next = cand
+				break
+			}
+		}
+		if next == -1 {
+			next = seed // dead end: restart from the seed peer
+			if o.g.Degree(next) == 0 {
+				break
+			}
+		}
+		if t := o.cfg.Tracer; t != nil {
+			t.WalkProbe(cur, next)
+		}
+		cur = next
+		if step%2 == 1 { // sample every other step: non-adjacent candidates
+			maybeAdd(cur)
+		}
+	}
+	// Top up with boundary nodes when fresh reach was scarce.
+	for _, f := range fallback {
+		if len(out) >= o.cfg.CandidateSetSize {
+			break
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// inBoundary reports whether x is already reachable within two hops
+// of u — i.e. x ∈ Γ(u) ∪ ∂Γ(u) as seen through u's neighbor views.
+func (o *Overlay) inBoundary(u, x int) bool {
+	for _, w := range o.g.Neighbors(u) {
+		for _, y := range o.neighborView(int(w)) {
+			if int(y) == x {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// connect establishes the undirected connection (u, v) and runs the
+// over-capacity pruning on both endpoints, mirroring the paper's
+// provisional-accept rule: the new edge is added unconditionally and
+// each side keeps its best-rated neighbors. It reports whether the
+// edge survived pruning on both sides.
+func (o *Overlay) connect(u, v int) bool {
+	if u == v || !o.alive[u] || !o.alive[v] {
+		return false
+	}
+	if !o.g.AddEdge(u, v) {
+		return false
+	}
+	if t := o.cfg.Tracer; t != nil {
+		t.Connect(u, v)
+		// Connection setup exchanges routing tables both ways (§4.6).
+		t.ViewExchange(u, v, o.g.Degree(u))
+		t.ViewExchange(v, u, o.g.Degree(v))
+	}
+	o.refreshView(u)
+	o.refreshView(v)
+	o.pruneToCapacity(u, nil)
+	if o.g.HasEdge(u, v) {
+		o.pruneToCapacity(v, nil)
+	}
+	return o.g.HasEdge(u, v)
+}
+
+// join brings node u into the overlay: it picks a random already
+// joined seed peer, walks the overlay for candidates, and dials
+// candidates until it has filled its capacity or exhausted the set
+// (§2.2, "connection phase").
+func (o *Overlay) join(u int, joined []int32) {
+	if len(joined) == 0 {
+		return // first node: nothing to connect to yet
+	}
+	seed := int(joined[o.rng.Intn(len(joined))])
+	o.fillConnections(u, seed)
+	// A tiny network may leave u unconnected (e.g. the only candidate
+	// rejected us); fall back to a direct link to the seed so the
+	// overlay never fragments during bootstrap.
+	if o.g.Degree(u) == 0 && o.alive[u] {
+		o.connect(u, seed)
+	}
+}
+
+// fillConnections gathers candidates by random walk from seedPeer and
+// dials them until u reaches its capacity.
+func (o *Overlay) fillConnections(u, seedPeer int) {
+	if o.g.Degree(u) >= o.caps[u] {
+		return
+	}
+	cands := o.randomWalkCandidates(u, seedPeer, o.candBuf)
+	o.candBuf = cands
+	for _, c := range cands {
+		if o.g.Degree(u) >= o.caps[u] {
+			break
+		}
+		o.connect(u, int(c))
+	}
+}
+
+// ManageRound runs one round of the management loop over every alive
+// node in random order: under-capacity nodes search for new peers via
+// a random walk from a random neighbor, and every node prunes to
+// capacity with the rating function. Exchanged views are refreshed
+// first in ProtocolViews mode (the paper's routing-table exchange).
+func (o *Overlay) ManageRound() {
+	n := o.g.N()
+	if t := o.cfg.Tracer; t != nil {
+		// Each round starts with the periodic routing-table exchange:
+		// every node pushes its neighbor list to each neighbor.
+		for u := 0; u < n; u++ {
+			if !o.alive[u] {
+				continue
+			}
+			deg := o.g.Degree(u)
+			for _, v := range o.g.Neighbors(u) {
+				if o.alive[v] {
+					t.ViewExchange(u, int(v), deg)
+				}
+			}
+		}
+	}
+	if o.cfg.Views == ProtocolViews {
+		for u := 0; u < n; u++ {
+			if o.alive[u] {
+				o.refreshView(u)
+			}
+		}
+	}
+	order := o.rng.Perm(n)
+	for _, u := range order {
+		if !o.alive[u] {
+			continue
+		}
+		// Probe dials: even a node at capacity keeps receiving
+		// connection attempts in a live network; each one gives the
+		// rating function a chance to upgrade the neighbor set (the
+		// candidate sticks only if it outranks the current worst).
+		for p := 0; p < o.cfg.ProbesPerRound; p++ {
+			if c := o.randomAliveNodeExcept(u); c >= 0 {
+				o.connect(u, c)
+			}
+		}
+		if o.g.Degree(u) < o.caps[u] {
+			if seed := o.randomAliveNeighbor(u); seed >= 0 {
+				o.fillConnections(u, seed)
+			}
+		}
+		if o.g.Degree(u) < o.caps[u] {
+			// Walks from the local neighborhood could not fill the
+			// node (possibly a fragment island): fall back to the
+			// bootstrap path and walk from a random known peer, as
+			// real clients re-contact their host cache.
+			if seed := o.randomAliveNodeExcept(u); seed >= 0 {
+				o.fillConnections(u, seed)
+			}
+		}
+		o.pruneToCapacity(u, nil)
+	}
+	o.pairOpenSlots()
+}
+
+// pairOpenSlots links nodes that still have open connection slots to
+// one another. Deployed P2P clients advertise slot availability
+// (Gnutella's X-Try headers); without this, latency-remote nodes —
+// unattractive to every capacity-full peer's proximity term — stay
+// under-filled and become the overlay's connectivity bottleneck.
+// Mutual under-capacity connections cannot be pruned away at accept
+// time, so the pairing sticks.
+func (o *Overlay) pairOpenSlots() {
+	var open []int32
+	for u := 0; u < o.g.N(); u++ {
+		if o.alive[u] && o.g.Degree(u) < o.caps[u] {
+			open = append(open, int32(u))
+		}
+	}
+	if len(open) < 2 {
+		return
+	}
+	o.rng.Shuffle(len(open), func(i, j int) { open[i], open[j] = open[j], open[i] })
+	for i, ui := range open {
+		u := int(ui)
+		if o.g.Degree(u) >= o.caps[u] {
+			continue
+		}
+		for j := i + 1; j < len(open) && o.g.Degree(u) < o.caps[u]; j++ {
+			v := int(open[j])
+			if o.g.Degree(v) >= o.caps[v] {
+				continue
+			}
+			o.connect(u, v)
+		}
+	}
+}
+
+// randomAliveNeighbor returns a random alive neighbor of u, or -1.
+func (o *Overlay) randomAliveNeighbor(u int) int {
+	nb := o.g.Neighbors(u)
+	if len(nb) == 0 {
+		return -1
+	}
+	start := o.rng.Intn(len(nb))
+	for i := 0; i < len(nb); i++ {
+		v := int(nb[(start+i)%len(nb)])
+		if o.alive[v] {
+			return v
+		}
+	}
+	return -1
+}
+
+// randomAliveNode returns a uniformly random alive node other than
+// none (-1 when the overlay is empty). Rejection sampling is fine
+// because experiments keep a majority of nodes alive.
+func (o *Overlay) randomAliveNode() int {
+	if o.nLive == 0 {
+		return -1
+	}
+	n := o.g.N()
+	for {
+		u := o.rng.Intn(n)
+		if o.alive[u] {
+			return u
+		}
+	}
+}
+
+// RejoinFragments detects alive nodes outside the giant component and
+// has them re-bootstrap: each fragment member gathers candidates by a
+// random walk seeded at a giant-component node (the host-cache path)
+// and dials them through the normal accept/prune protocol. Up to
+// maxPasses detection passes run; it returns true when the alive
+// subgraph ends connected. Real deployments behave the same way —
+// a peer whose neighborhood went quiet re-contacts the bootstrap
+// server.
+func (o *Overlay) RejoinFragments(maxPasses int) bool {
+	for pass := 0; pass < maxPasses; pass++ {
+		sub, order := o.FreezeAlive()
+		labels, sizes := sub.Components()
+		if len(sizes) <= 1 {
+			return true
+		}
+		giant := 0
+		for i, s := range sizes {
+			if s > sizes[giant] {
+				giant = i
+			}
+		}
+		// Gather one giant-component seed for the walks.
+		seed := -1
+		for i, l := range labels {
+			if l == int32(giant) {
+				seed = int(order[i])
+				break
+			}
+		}
+		if seed < 0 {
+			return false
+		}
+		for i, l := range labels {
+			if l == int32(giant) {
+				continue
+			}
+			u := int(order[i])
+			o.fillConnections(u, seed)
+			if !o.fragmentLinked(u, seed) {
+				// Last resort within the protocol: dial the seed
+				// directly (bootstrap peers accept connections).
+				o.connect(u, seed)
+			}
+		}
+	}
+	sub, _ := o.FreezeAlive()
+	return sub.IsConnected()
+}
+
+// fragmentLinked reports whether u can now reach target in the live
+// overlay (cheap BFS capped by graph size).
+func (o *Overlay) fragmentLinked(u, target int) bool {
+	sub, order := o.FreezeAlive()
+	// Map original ids to subgraph ids.
+	var su, st = -1, -1
+	for i, old := range order {
+		if int(old) == u {
+			su = i
+		}
+		if int(old) == target {
+			st = i
+		}
+	}
+	if su < 0 || st < 0 {
+		return false
+	}
+	dist := make([]int32, sub.N())
+	sub.BFS(su, dist, nil)
+	return dist[st] != graphUnreachable
+}
+
+// SetCapacity changes node u's capacity at runtime; a reduction
+// triggers the paper's pruning mechanism immediately.
+func (o *Overlay) SetCapacity(u, capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	o.caps[u] = capacity
+	o.pruneToCapacity(u, nil)
+}
+
+// AddNode grows the overlay by one node with the given capacity and
+// immediately joins it through a random alive seed peer. It returns
+// the new node's id. The network model passed at Build time must
+// cover the new node (its N() bounds how far the overlay can grow).
+func (o *Overlay) AddNode(capacity int) int {
+	if o.g.N() >= o.cfg.Net.N() {
+		panic("core: network model has no headroom for AddNode; build with a larger netmodel")
+	}
+	u := o.g.AddNode()
+	o.caps = append(o.caps, capacity)
+	o.alive = append(o.alive, true)
+	o.views = append(o.views, nil)
+	o.nLive++
+	o.scratch.grow(u + 1)
+	if seed := o.randomAliveNodeExcept(u); seed >= 0 {
+		o.fillConnections(u, seed)
+		if o.g.Degree(u) == 0 {
+			o.connect(u, seed)
+		}
+	}
+	return u
+}
+
+func (o *Overlay) randomAliveNodeExcept(u int) int {
+	if o.nLive <= 1 {
+		return -1
+	}
+	for {
+		v := o.randomAliveNode()
+		if v != u {
+			return v
+		}
+	}
+}

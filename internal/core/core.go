@@ -1,0 +1,240 @@
+// Package core implements Makalu, the paper's contribution: a
+// distributed overlay-construction algorithm that uses only local
+// information to approximate an expander graph. Each node rates its
+// neighbors with
+//
+//	F(u,v) = alpha * |R(u,v)| / |∂Γ(u)|  +  beta * d_max / d(u,v)
+//
+// where R(u,v) is the set of nodes reachable from u only through v
+// (v's unique contribution), ∂Γ(u) is the node boundary of u's
+// neighborhood, d(u,v) the link latency and d_max the largest latency
+// among u's neighbors. Nodes accept incoming connections freely and,
+// when over their capacity, repeatedly disconnect the lowest-rated
+// neighbor (§2 of the paper).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"makalu/internal/graph"
+	"makalu/internal/netmodel"
+)
+
+// ViewMode selects where a node's knowledge of its neighbors'
+// neighborhoods comes from when computing ratings.
+type ViewMode int
+
+const (
+	// OracleViews reads neighbors' current adjacency directly. This
+	// matches the paper's simulator, where routing-table exchanges are
+	// assumed up to date.
+	OracleViews ViewMode = iota
+	// ProtocolViews uses the neighbor lists as last exchanged: on
+	// connection establishment and on every management round. Views in
+	// between can be stale, bounding the damage of gossip lag.
+	ProtocolViews
+)
+
+// Config parameterizes overlay construction. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Alpha and Beta weight connectivity and proximity in the rating
+	// function. The paper sets both to 1.
+	Alpha, Beta float64
+	// Capacities holds each node's maximum connection count; length
+	// must equal the node count passed to Build. Nil means
+	// topology.DefaultCapacities-style uniform [8,14] drawn from Seed.
+	Capacities []int
+	// Net supplies pairwise latencies. Required.
+	Net netmodel.Model
+	// WalkLength is the length of the random walk used to gather
+	// candidate peers on join (paper §2.2).
+	WalkLength int
+	// CandidateSetSize is how many distinct candidates a joining or
+	// under-capacity node gathers before dialing.
+	CandidateSetSize int
+	// ManageRounds is the number of post-join management rounds in
+	// which every node re-evaluates its neighbors (paper: the repeat
+	// loop of Manage()).
+	ManageRounds int
+	// ProbesPerRound is how many random peers each node dials per
+	// management round even when at capacity. The paper's Manage()
+	// loop runs in a network with continuous incoming dials, and it is
+	// those dials that let the rating function keep improving the
+	// neighbor set (accept, rate, drop the worst); a static build has
+	// no such traffic, so without probes a weak cut formed early locks
+	// in forever. 0 disables probing.
+	ProbesPerRound int
+	// Views selects oracle or protocol neighbor views.
+	Views ViewMode
+	// RawProximity switches the proximity term to the paper's literal
+	// d_max/d(u,v) ratio, which is unbounded below by 1 and above by
+	// nothing. The default normalized form d_min/d(u,v) ∈ (0, 1] puts
+	// proximity on the same scale as the connectivity term — which is
+	// what "equal weight to both" (§2.1) requires for the weights to
+	// mean anything, and what reproduces the paper's measured
+	// connectivity and duplicate figures (see DESIGN.md).
+	RawProximity bool
+	// Seed drives all randomness in construction.
+	Seed int64
+	// Tracer, when non-nil, observes every protocol action the
+	// overlay takes (dials, disconnects, view exchanges, walk probes)
+	// so callers can account maintenance traffic. See sim.CostModel.
+	Tracer Tracer
+}
+
+// Tracer observes overlay protocol actions for traffic accounting.
+// Implementations must be cheap; they run inline with construction.
+type Tracer interface {
+	// Connect fires when u and v complete a dial+accept handshake.
+	Connect(u, v int)
+	// Disconnect fires when u prunes its link to v (one notification).
+	Disconnect(u, v int)
+	// ViewExchange fires when u pushes its neighbor list (entries
+	// long) to neighbor v.
+	ViewExchange(u, v, entries int)
+	// WalkProbe fires for each hop of a candidate-discovery walk.
+	WalkProbe(from, to int)
+}
+
+// DefaultConfig returns the configuration used for the paper's
+// experiments: alpha = beta = 1, capacities uniform in [8,14]
+// (mean ≈ 11), modest candidate sets and four management rounds.
+func DefaultConfig(net netmodel.Model, seed int64) Config {
+	return Config{
+		Alpha:            1,
+		Beta:             1,
+		Net:              net,
+		WalkLength:       24,
+		CandidateSetSize: 12,
+		ManageRounds:     4,
+		ProbesPerRound:   1,
+		Views:            OracleViews,
+		Seed:             seed,
+	}
+}
+
+// Overlay is a Makalu overlay under simulation. It tracks the live
+// topology, per-node capacities and liveness, and exposes the rating
+// function for analysis.
+type Overlay struct {
+	cfg   Config
+	g     *graph.Mutable
+	caps  []int
+	alive []bool
+	nLive int
+	rng   *rand.Rand
+
+	// views[u] is the neighbor list of u as known to its peers in
+	// ProtocolViews mode; nil entries mean "never exchanged".
+	views [][]int32
+
+	scratch ratingScratch
+	candBuf []int32 // reusable candidate buffer for walks
+}
+
+// Build constructs a Makalu overlay of n nodes: nodes join one at a
+// time through a random already-joined seed peer, then ManageRounds
+// rounds of the management loop run over all nodes in random order.
+func Build(n int, cfg Config) (*Overlay, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("core: Config.Net is required")
+	}
+	if cfg.Net.N() < n {
+		return nil, fmt.Errorf("core: network model covers %d nodes, need %d", cfg.Net.N(), n)
+	}
+	if cfg.Capacities != nil && len(cfg.Capacities) != n {
+		return nil, fmt.Errorf("core: got %d capacities for %d nodes", len(cfg.Capacities), n)
+	}
+	if cfg.Alpha < 0 || cfg.Beta < 0 || cfg.Alpha+cfg.Beta == 0 {
+		return nil, fmt.Errorf("core: rating weights must be non-negative and not both zero")
+	}
+	if cfg.WalkLength <= 0 {
+		cfg.WalkLength = 24
+	}
+	if cfg.CandidateSetSize <= 0 {
+		cfg.CandidateSetSize = 12
+	}
+	o := &Overlay{
+		cfg:   cfg,
+		g:     graph.NewMutable(n),
+		alive: make([]bool, n),
+		nLive: n,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		views: make([][]int32, n),
+	}
+	o.scratch.init(n)
+	if cfg.Capacities != nil {
+		o.caps = append([]int(nil), cfg.Capacities...)
+	} else {
+		capRng := rand.New(rand.NewSource(cfg.Seed + 1))
+		o.caps = make([]int, n)
+		for i := range o.caps {
+			o.caps[i] = 8 + capRng.Intn(7) // uniform [8,14], mean 11
+		}
+	}
+	for i := range o.alive {
+		o.alive[i] = true
+	}
+
+	// Join phase: nodes join in random order so physical locality does
+	// not correlate with join time.
+	order := o.rng.Perm(n)
+	joined := make([]int32, 0, n)
+	for _, u := range order {
+		o.join(u, joined)
+		joined = append(joined, int32(u))
+	}
+	// Management phase.
+	for r := 0; r < cfg.ManageRounds; r++ {
+		o.ManageRound()
+	}
+	// The paper's Manage() loop runs until disconnect; emulate the
+	// steady state by letting stray fragments (usually none, at most a
+	// node pair that formed in the last round) bootstrap back in.
+	o.RejoinFragments(3)
+	return o, nil
+}
+
+// N returns the total node count (alive and failed).
+func (o *Overlay) N() int { return o.g.N() }
+
+// LiveCount returns the number of alive nodes.
+func (o *Overlay) LiveCount() int { return o.nLive }
+
+// Alive reports whether node u is alive.
+func (o *Overlay) Alive(u int) bool { return o.alive[u] }
+
+// Capacity returns node u's connection capacity.
+func (o *Overlay) Capacity(u int) int { return o.caps[u] }
+
+// Graph returns the live mutable topology. Callers must not mutate it.
+func (o *Overlay) Graph() *graph.Mutable { return o.g }
+
+// Freeze returns the overlay as a frozen graph with edge latencies
+// from the network model. Failed nodes appear as isolated vertices;
+// use FreezeAlive to drop them.
+func (o *Overlay) Freeze() *graph.Graph {
+	return o.g.Freeze(func(u, v int) float64 { return o.cfg.Net.Latency(u, v) })
+}
+
+// FreezeAlive returns the frozen subgraph induced on alive nodes plus
+// the mapping from new ids to original ids.
+func (o *Overlay) FreezeAlive() (*graph.Graph, []int32) {
+	return o.Freeze().InducedSubgraph(o.alive)
+}
+
+// MeanDegree returns the mean degree over alive nodes.
+func (o *Overlay) MeanDegree() float64 {
+	if o.nLive == 0 {
+		return 0
+	}
+	sum := 0
+	for u := 0; u < o.g.N(); u++ {
+		if o.alive[u] {
+			sum += o.g.Degree(u)
+		}
+	}
+	return float64(sum) / float64(o.nLive)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"makalu/internal/netmodel"
+)
+
+func TestLeaveGraceful(t *testing.T) {
+	o := buildSmall(t, 300, 41)
+	u := 5
+	neighbors := append([]int32(nil), o.Graph().Neighbors(u)...)
+	if len(neighbors) == 0 {
+		t.Skip("node 5 has no neighbors at this seed")
+	}
+	if !o.Leave(u) {
+		t.Fatal("leave failed")
+	}
+	if o.Alive(u) || o.Graph().Degree(u) != 0 {
+		t.Fatal("left node should be dead and isolated")
+	}
+	if o.LiveCount() != 299 {
+		t.Fatalf("live count = %d", o.LiveCount())
+	}
+	// Former neighbors refilled immediately: none should sit far
+	// below capacity just because u left.
+	for _, v := range neighbors {
+		if o.Graph().Degree(int(v)) < o.Capacity(int(v))-1 {
+			t.Fatalf("neighbor %d left with degree %d of capacity %d",
+				v, o.Graph().Degree(int(v)), o.Capacity(int(v)))
+		}
+	}
+	// Double-leave and out-of-range are no-ops.
+	if o.Leave(u) || o.Leave(-1) || o.Leave(99999) {
+		t.Fatal("invalid leaves should return false")
+	}
+}
+
+func TestLeaveKeepsOverlayConnected(t *testing.T) {
+	o := buildSmall(t, 200, 43)
+	for u := 0; u < 60; u += 3 {
+		o.Leave(u)
+	}
+	sub, _ := o.FreezeAlive()
+	_, sizes := sub.Components()
+	giant := 0
+	for _, s := range sizes {
+		if s > giant {
+			giant = s
+		}
+	}
+	if float64(giant) < 0.97*float64(sub.N()) {
+		t.Fatalf("graceful departures fragmented the overlay: giant %d of %d", giant, sub.N())
+	}
+}
+
+func TestLeaveTracesDisconnects(t *testing.T) {
+	n := 100
+	net := netmodel.NewEuclidean(n, 1000, 45)
+	tr := &countingTracer{}
+	cfg := DefaultConfig(net, 45)
+	cfg.Tracer = tr
+	o, err := Build(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.disconnects
+	deg := o.Graph().Degree(7)
+	o.Leave(7)
+	if tr.disconnects < before+deg {
+		t.Fatalf("leave of a degree-%d node traced %d disconnects", deg, tr.disconnects-before)
+	}
+}
+
+// countingTracer is a minimal Tracer for tests.
+type countingTracer struct {
+	connects, disconnects, views, probes int
+}
+
+func (c *countingTracer) Connect(u, v int)            { c.connects++ }
+func (c *countingTracer) Disconnect(u, v int)         { c.disconnects++ }
+func (c *countingTracer) ViewExchange(u, v, size int) { c.views++ }
+func (c *countingTracer) WalkProbe(from, to int)      { c.probes++ }
+
+func TestRejoinFragmentsNoOpWhenConnected(t *testing.T) {
+	o := buildSmall(t, 150, 47)
+	if !o.RejoinFragments(2) {
+		t.Fatal("connected overlay should report success")
+	}
+}
+
+func TestRejoinFragmentsRepairsManualSplit(t *testing.T) {
+	o := buildSmall(t, 200, 49)
+	// Manually carve off nodes 0..9 into an island.
+	g := o.Graph()
+	island := map[int]bool{}
+	for u := 0; u < 10; u++ {
+		island[u] = true
+	}
+	for u := 0; u < 10; u++ {
+		for _, v := range append([]int32(nil), g.Neighbors(u)...) {
+			if !island[int(v)] {
+				g.RemoveEdge(u, int(v))
+			}
+		}
+	}
+	// Wire the island internally so it is a component, not dust.
+	for u := 0; u < 9; u++ {
+		g.AddEdge(u, u+1)
+	}
+	if o.Freeze().IsConnected() {
+		t.Skip("seed left island attached; skip")
+	}
+	if !o.RejoinFragments(3) {
+		t.Fatal("rejoin failed")
+	}
+	sub, _ := o.FreezeAlive()
+	if !sub.IsConnected() {
+		t.Fatal("overlay still fragmented after rejoin")
+	}
+}
+
+func TestProtocolViewsStaleness(t *testing.T) {
+	// In ProtocolViews mode, a node's exchanged view does not track
+	// live changes until the next refresh event.
+	n := 60
+	net := netmodel.NewEuclidean(n, 1000, 51)
+	cfg := DefaultConfig(net, 51)
+	cfg.Views = ProtocolViews
+	o, err := Build(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := 3
+	nb := o.Graph().Neighbors(u)
+	if len(nb) == 0 {
+		t.Skip("no neighbors")
+	}
+	v := int(nb[0])
+	// Mutate v's adjacency behind the protocol's back.
+	o.Graph().AddEdge(v, (v+17)%n)
+	view := o.neighborView(v)
+	for _, x := range view {
+		if int(x) == (v+17)%n && !contained(o.views[v], int32((v+17)%n)) {
+			t.Fatal("stale view leaked a live edge")
+		}
+	}
+	// After refresh the view catches up.
+	o.refreshView(v)
+	if !contained(o.views[v], int32((v+17)%n)) && o.Graph().HasEdge(v, (v+17)%n) {
+		t.Fatal("refresh did not update the view")
+	}
+}
+
+func contained(s []int32, x int32) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package core
+
+import "math"
+
+// ratingScratch holds the epoch-stamped counting arrays that make one
+// rating evaluation O(deg²) with no allocation. A single scratch is
+// owned by the Overlay; construction is single-goroutine (it models a
+// sequential protocol trace), so no locking is needed.
+type ratingScratch struct {
+	epoch   int32
+	count   []int32 // how many of u's neighbors can reach x
+	stamp   []int32 // epoch when count[x] was last touched
+	exclude []int32 // epoch when x was marked as Γ(u) ∪ {u}
+	touched []int32 // nodes with count stamped this epoch
+
+	ratingBuf []RatingInfo // reusable result buffer for pruning
+}
+
+func (s *ratingScratch) init(n int) {
+	s.count = make([]int32, n)
+	s.stamp = make([]int32, n)
+	s.exclude = make([]int32, n)
+	s.touched = make([]int32, 0, 256)
+}
+
+func (s *ratingScratch) grow(n int) {
+	for len(s.count) < n {
+		s.count = append(s.count, 0)
+		s.stamp = append(s.stamp, 0)
+		s.exclude = append(s.exclude, 0)
+	}
+}
+
+// neighborView returns the neighbor list of v as visible to a rating
+// computation: the live adjacency in OracleViews mode, the last
+// exchanged snapshot in ProtocolViews mode.
+func (o *Overlay) neighborView(v int) []int32 {
+	if o.cfg.Views == ProtocolViews {
+		return o.views[v]
+	}
+	return o.g.Neighbors(v)
+}
+
+// refreshView snapshots v's current adjacency as its exchanged view.
+func (o *Overlay) refreshView(v int) {
+	if o.cfg.Views != ProtocolViews {
+		return
+	}
+	o.views[v] = append(o.views[v][:0], o.g.Neighbors(v)...)
+}
+
+// RatingInfo is the decomposition of one neighbor's rating, exposed
+// for analysis and tests.
+type RatingInfo struct {
+	Neighbor     int
+	Unique       int     // |R(u,v)|: nodes reachable from u only via v
+	Boundary     int     // |∂Γ(u)|: node boundary of u's neighborhood
+	Latency      float64 // d(u,v)
+	MaxLatency   float64 // d_max over u's neighbors
+	Connectivity float64 // alpha * Unique/Boundary
+	Proximity    float64 // beta * MaxLatency/Latency
+	Score        float64 // Connectivity + Proximity
+}
+
+// minPositiveLatency floors latencies so co-located nodes (distance 0)
+// do not produce an infinite proximity score.
+const minPositiveLatency = 1e-9
+
+// RateNeighbors computes the Makalu rating of every current neighbor
+// of u, in adjacency order. The slice is reused scratch owned by the
+// caller via append semantics (pass nil to allocate).
+//
+// The computation follows §2.1: the unique reachable set R(u,v) is
+// v's view minus u, minus u's own neighbors, minus anything visible
+// through another neighbor; the node boundary ∂Γ(u) is the union of
+// all views minus Γ(u) ∪ {u}.
+func (o *Overlay) RateNeighbors(u int, out []RatingInfo) []RatingInfo {
+	nb := o.g.Neighbors(u)
+	out = out[:0]
+	if len(nb) == 0 {
+		return out
+	}
+	s := &o.scratch
+	s.epoch++
+	ep := s.epoch
+	s.touched = s.touched[:0]
+
+	// Mark Γ(u) ∪ {u} as excluded from boundary and unique sets.
+	s.exclude[u] = ep
+	for _, w := range nb {
+		s.exclude[w] = ep
+	}
+	// Count, for every node x in some neighbor's view, the number of
+	// u's neighbors whose view contains x.
+	for _, w := range nb {
+		for _, x := range o.neighborView(int(w)) {
+			if s.exclude[x] == ep {
+				continue
+			}
+			if s.stamp[x] != ep {
+				s.stamp[x] = ep
+				s.count[x] = 1
+				s.touched = append(s.touched, x)
+			} else {
+				s.count[x]++
+			}
+		}
+	}
+	boundary := len(s.touched)
+
+	// Latency extremes.
+	dmax := 0.0
+	dmin := math.Inf(1)
+	for _, w := range nb {
+		d := o.cfg.Net.Latency(u, int(w))
+		if d > dmax {
+			dmax = d
+		}
+		if d < dmin {
+			dmin = d
+		}
+	}
+	if dmin < minPositiveLatency {
+		dmin = minPositiveLatency
+	}
+
+	for _, w := range nb {
+		unique := 0
+		for _, x := range o.neighborView(int(w)) {
+			if s.exclude[x] != ep && s.stamp[x] == ep && s.count[x] == 1 {
+				unique++
+			}
+		}
+		d := o.cfg.Net.Latency(u, int(w))
+		if d < minPositiveLatency {
+			d = minPositiveLatency
+		}
+		info := RatingInfo{
+			Neighbor:   int(w),
+			Unique:     unique,
+			Boundary:   boundary,
+			Latency:    d,
+			MaxLatency: dmax,
+		}
+		if boundary > 0 {
+			info.Connectivity = o.cfg.Alpha * float64(unique) / float64(boundary)
+		}
+		if dmax > 0 {
+			if o.cfg.RawProximity {
+				info.Proximity = o.cfg.Beta * dmax / d
+			} else {
+				info.Proximity = o.cfg.Beta * dmin / d
+			}
+		}
+		info.Score = info.Connectivity + info.Proximity
+		out = append(out, info)
+	}
+	return out
+}
+
+// Rating returns the score of neighbor v as seen by u, or NaN when v
+// is not currently a neighbor of u.
+func (o *Overlay) Rating(u, v int) float64 {
+	infos := o.RateNeighbors(u, nil)
+	for _, in := range infos {
+		if in.Neighbor == v {
+			return in.Score
+		}
+	}
+	return math.NaN()
+}
+
+// pruneToCapacity implements the inner loop of Manage(): while u has
+// more neighbors than its capacity, disconnect the lowest-rated one.
+// Ratings are recomputed after every removal because the boundary and
+// unique sets change. It returns the disconnected nodes.
+func (o *Overlay) pruneToCapacity(u int, dropped []int32) []int32 {
+	for o.g.Degree(u) > o.caps[u] {
+		infos := o.RateNeighbors(u, o.scratch.ratings())
+		o.scratch.ratingBuf = infos // keep any growth for reuse
+		worst := 0
+		for i := 1; i < len(infos); i++ {
+			if infos[i].Score < infos[worst].Score {
+				worst = i
+			}
+		}
+		v := infos[worst].Neighbor
+		o.g.RemoveEdge(u, v)
+		if t := o.cfg.Tracer; t != nil {
+			t.Disconnect(u, v)
+		}
+		o.refreshView(u)
+		o.refreshView(v)
+		dropped = append(dropped, int32(v))
+	}
+	return dropped
+}
+
+// ratings returns a reusable RatingInfo slice stored on the scratch.
+func (s *ratingScratch) ratings() []RatingInfo {
+	if s.ratingBuf == nil {
+		s.ratingBuf = make([]RatingInfo, 0, 64)
+	}
+	return s.ratingBuf[:0]
+}

@@ -1,0 +1,24 @@
+package dht
+
+import "makalu/internal/graph"
+
+// OverlayGraph returns the Chord topology as an undirected overlay
+// graph: each node is linked to its (deduplicated) fingers. Flooding
+// over this graph is the Structella idea the paper cites for
+// very-low-replication workloads (§4.4): Castro et al. observed that
+// a structured topology's guaranteed expansion lets an unstructured
+// flood cover the whole network with no duplicate storms, at the cost
+// of DHT maintenance.
+//
+// The latency function, when non-nil, assigns edge weights.
+func (c *Chord) OverlayGraph(latency graph.WeightFunc) *graph.Graph {
+	g := graph.NewMutable(c.n)
+	for u := 0; u < c.n; u++ {
+		for _, f := range c.fingers[u] {
+			if int(f) != u {
+				g.AddEdge(u, int(f))
+			}
+		}
+	}
+	return g.Freeze(latency)
+}

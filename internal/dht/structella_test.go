@@ -1,0 +1,61 @@
+package dht
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOverlayGraphStructure(t *testing.T) {
+	c, err := New(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.OverlayGraph(nil)
+	if g.N() != 500 {
+		t.Fatalf("graph has %d nodes", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("chord finger graph must be connected (successors form a ring)")
+	}
+	// Every node holds ~log2(n) fingers; the undirected degree also
+	// counts nodes that point AT us, so allow a wide band.
+	if g.MeanDegree() < 5 || g.MeanDegree() > 40 {
+		t.Fatalf("mean degree %.1f implausible", g.MeanDegree())
+	}
+	// Structella's selling point: guaranteed logarithmic diameter.
+	if d := g.HopDiameter(); d > 12 {
+		t.Fatalf("diameter %d not logarithmic for n=500", d)
+	}
+}
+
+func TestOverlayGraphWeights(t *testing.T) {
+	c, err := New(50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.OverlayGraph(func(u, v int) float64 { return float64(u + v) })
+	if g.Weights == nil || len(g.Weights) != len(g.Edges) {
+		t.Fatal("weights missing")
+	}
+}
+
+func TestOverlayGraphFloodCoverage(t *testing.T) {
+	// A TTL-equal-to-diameter flood over the Chord graph reaches every
+	// node — the Structella property for needle-in-haystack queries.
+	c, err := New(1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.OverlayGraph(nil)
+	dist := make([]int32, g.N())
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		src := rng.Intn(g.N())
+		g.BFS(src, dist, nil)
+		for v, d := range dist {
+			if d < 0 {
+				t.Fatalf("node %d unreachable from %d", v, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"makalu/internal/dht"
+	"makalu/internal/netmodel"
+	"makalu/internal/search"
+)
+
+// ExpansionRow profiles one topology's neighborhood growth: the mean
+// number of nodes at exactly hop h from a random node, plus the
+// structural coefficients that explain it.
+type ExpansionRow struct {
+	Topology      TopologyName
+	MeanPerHop    []float64 // index = hop, 0..MaxHop
+	Clustering    float64
+	Assortativity float64
+}
+
+// ExpansionResult is the E12 output: the direct measurement behind
+// §3.3's "maximizes the expansion from each node's neighborhood".
+type ExpansionResult struct {
+	N       int
+	MaxHop  int
+	Samples int
+	Rows    []ExpansionRow
+}
+
+// RunExpansion measures each topology's hop-by-hop expansion from
+// sampled sources together with its clustering coefficient and degree
+// assortativity. Expander-like overlays grow near-geometrically with
+// clustering ≈ 0; the power law's hub-centric growth collapses after
+// hop 2.
+func RunExpansion(opt Options) (*ExpansionResult, error) {
+	nets, err := BuildAll(opt.N, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	const maxHop = 4
+	samples := opt.Queries
+	if samples > opt.N {
+		samples = opt.N
+	}
+	res := &ExpansionResult{N: opt.N, MaxHop: maxHop, Samples: samples}
+	rng := rand.New(rand.NewSource(opt.Seed + 71))
+	for _, nw := range nets {
+		sums := make([]float64, maxHop+1)
+		for s := 0; s < samples; s++ {
+			src := rng.Intn(opt.N)
+			sizes := nw.Graph.NeighborhoodSizes(src, maxHop)
+			for h, c := range sizes {
+				sums[h] += float64(c)
+			}
+		}
+		for h := range sums {
+			sums[h] /= float64(samples)
+		}
+		res.Rows = append(res.Rows, ExpansionRow{
+			Topology:      nw.Name,
+			MeanPerHop:    sums,
+			Clustering:    nw.Graph.GlobalClusteringCoefficient(),
+			Assortativity: nw.Graph.DegreeAssortativity(),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the E12 table.
+func (r *ExpansionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E12 (§3.3, extra) Neighborhood expansion — %d nodes, %d sources\n", r.N, r.Samples)
+	fmt.Fprintf(&b, "%-15s", "Topology")
+	for h := 0; h <= r.MaxHop; h++ {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("hop %d", h))
+	}
+	fmt.Fprintf(&b, " %10s %8s\n", "clustering", "assort")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-15s", row.Topology)
+		for _, v := range row.MeanPerHop {
+			fmt.Fprintf(&b, " %9.1f", v)
+		}
+		fmt.Fprintf(&b, " %10.4f %8.3f\n", row.Clustering, row.Assortativity)
+	}
+	return b.String()
+}
+
+// LowReplicationResult is the E13 output: the §4.4 needle-in-haystack
+// scenario (0.01% replication) on Makalu flooding versus flooding
+// over a Chord topology (the Structella approach the paper suggests
+// for this regime).
+type LowReplicationResult struct {
+	N           int
+	Replication float64
+	TTL         int
+
+	MakaluSuccess  float64
+	MakaluMsgs     float64
+	StructellaSucc float64
+	StructellaMsgs float64
+	StructellaDiam int
+}
+
+// RunLowReplication reproduces the §4.4 prose result — "even for a
+// replication ratio such as 0.01% ... flooding on Makalu resolved 56%
+// of queries within 4 hops and approximately 6,500 messages" — and
+// the Structella alternative the paper points to.
+func RunLowReplication(opt Options) (*LowReplicationResult, error) {
+	mk, err := BuildMakalu(opt.N, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	store, err := PlaceObjects(opt.N, 20, 0.0001, opt.Seed+73)
+	if err != nil {
+		return nil, err
+	}
+	const ttl = 4
+	res := &LowReplicationResult{N: opt.N, Replication: 0.0001, TTL: ttl}
+
+	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Seed+79)
+	res.MakaluSuccess = agg.SuccessRate()
+	res.MakaluMsgs = agg.MeanMessages()
+
+	chord, err := dht.New(opt.N, opt.Seed+83)
+	if err != nil {
+		return nil, err
+	}
+	euc := netmodel.NewEuclidean(opt.N, 1000, opt.Seed)
+	sg := chord.OverlayGraph(func(u, v int) float64 { return euc.Latency(u, v) })
+	res.StructellaDiam = 0 // diameter only computed for small n; report hops instead
+	sAgg := search.NewAggregate()
+	fl := search.NewFlooder(sg)
+	rng := rand.New(rand.NewSource(opt.Seed + 89))
+	for q := 0; q < opt.Queries; q++ {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(opt.N)
+		sAgg.Add(fl.Flood(src, ttl, func(u int) bool { return store.Has(u, obj) }))
+	}
+	res.StructellaSucc = sAgg.SuccessRate()
+	res.StructellaMsgs = sAgg.MeanMessages()
+	return res, nil
+}
+
+// Render formats the E13 comparison.
+func (r *LowReplicationResult) Render() string {
+	return fmt.Sprintf(
+		"E13 (§4.4) Needle-in-haystack: %.2f%% replication, TTL %d, %d nodes\n"+
+			"  Makalu flooding:     success %5.1f%%, %8.0f msgs/query (paper: 56%%, ≈6,500)\n"+
+			"  Structella flooding: success %5.1f%%, %8.0f msgs/query (structured-topology flood)\n",
+		r.Replication*100, r.TTL, r.N,
+		100*r.MakaluSuccess, r.MakaluMsgs,
+		100*r.StructellaSucc, r.StructellaMsgs)
+}

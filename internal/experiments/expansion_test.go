@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExpansionShape(t *testing.T) {
+	opt := Options{N: 800, Queries: 60, Seed: 11}
+	res, err := RunExpansion(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 topologies, got %d", len(res.Rows))
+	}
+	byName := map[TopologyName]ExpansionRow{}
+	for _, row := range res.Rows {
+		byName[row.Topology] = row
+		if row.MeanPerHop[0] != 1 {
+			t.Fatalf("%s: hop-0 population %v, want 1 (the source)", row.Topology, row.MeanPerHop[0])
+		}
+	}
+	mk := byName[TopoMakalu]
+	pl := byName[TopoV04]
+	// Expander growth: each of the first three hops multiplies the
+	// frontier substantially.
+	if mk.MeanPerHop[2] < 5*mk.MeanPerHop[1] {
+		t.Fatalf("Makalu hop-2 frontier %v not expanding over hop-1 %v",
+			mk.MeanPerHop[2], mk.MeanPerHop[1])
+	}
+	// Makalu is locally tree-like; the power-law has hubs and a much
+	// weaker mean frontier at hop 1 (most nodes have degree 1-2).
+	if mk.Clustering > 0.02 {
+		t.Fatalf("Makalu clustering %v not tree-like", mk.Clustering)
+	}
+	if pl.MeanPerHop[1] > mk.MeanPerHop[1] {
+		t.Fatalf("power-law hop-1 frontier %v should trail Makalu's %v",
+			pl.MeanPerHop[1], mk.MeanPerHop[1])
+	}
+	// Power law is disassortative (hubs attach to leaves).
+	if pl.Assortativity >= 0 {
+		t.Fatalf("power-law assortativity %v, want negative", pl.Assortativity)
+	}
+	if !strings.Contains(res.Render(), "clustering") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestRunLowReplication(t *testing.T) {
+	opt := Options{N: 2000, Queries: 100, Seed: 13}
+	res, err := RunLowReplication(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.01% of 2000 floors to 1 replica; a TTL-4 Makalu flood covers
+	// most of a 2000-node overlay, so success should be high here and
+	// the interesting partial-coverage number appears at 100k (see
+	// EXPERIMENTS.md).
+	if res.MakaluSuccess < 0.5 {
+		t.Fatalf("Makalu success %.2f implausibly low", res.MakaluSuccess)
+	}
+	if res.StructellaSucc < 0.5 {
+		t.Fatalf("Structella success %.2f implausibly low", res.StructellaSucc)
+	}
+	if res.MakaluMsgs <= 0 || res.StructellaMsgs <= 0 {
+		t.Fatal("message accounting broken")
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

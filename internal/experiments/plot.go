@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file exports figure data as gnuplot-ready .dat series plus a
+// .gp script per figure, so the paper's plots regenerate with
+// `gnuplot figN.gp` after `makalu-experiments -exp figN -plot DIR`.
+
+// writeDat writes a whitespace-separated data file with a comment
+// header. Each row must have len(header) columns.
+func writeDat(path string, header []string, rows [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# %s\n", strings.Join(header, "\t"))
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("experiments: row has %d columns, header %d", len(row), len(header))
+		}
+		for i, v := range row {
+			if i > 0 {
+				w.WriteByte('\t')
+			}
+			fmt.Fprintf(w, "%g", v)
+		}
+		w.WriteByte('\n')
+	}
+	return w.Flush()
+}
+
+func writeScript(path, script string) error {
+	return os.WriteFile(path, []byte(script), 0o644)
+}
+
+// WritePlotData exports Figure 1's spectra: one .dat per series with
+// (normalized rank, eigenvalue) columns.
+func (r *Figure1Result) WritePlotData(dir string) error {
+	series := append([]SpectrumSeries{r.Reference}, r.Series...)
+	var plotLines []string
+	for i, s := range series {
+		rows := make([][]float64, len(s.Points))
+		for j, p := range s.Points {
+			rows[j] = []float64{p.X, p.Y}
+		}
+		name := fmt.Sprintf("fig1_s%d.dat", i)
+		if err := writeDat(filepath.Join(dir, name), []string{"rank", "eigenvalue"}, rows); err != nil {
+			return err
+		}
+		plotLines = append(plotLines, fmt.Sprintf("%q using 1:2 with lines title %q", name, s.Label))
+	}
+	script := "set xlabel 'normalized rank'\nset ylabel 'eigenvalue'\nset yrange [0:2]\n" +
+		"set title 'Figure 1: normalized Laplacian spectrum under targeted failure'\n" +
+		"plot " + strings.Join(plotLines, ", \\\n     ") + "\npause -1\n"
+	return writeScript(filepath.Join(dir, "fig1.gp"), script)
+}
+
+// WritePlotData exports Figure 2 (log-log messages vs size).
+func (r *Figure2Result) WritePlotData(dir string) error {
+	rows := make([][]float64, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []float64{float64(p.N), p.MsgsPerQuery, p.SuccessRate}
+	}
+	if err := writeDat(filepath.Join(dir, "fig2.dat"), []string{"n", "msgs_per_query", "success"}, rows); err != nil {
+		return err
+	}
+	script := "set logscale xy\nset xlabel 'network size'\nset ylabel 'messages/query'\n" +
+		"set title 'Figure 2: messages per query vs network size (TTL 4, 1% replication)'\n" +
+		"plot 'fig2.dat' using 1:2 with linespoints title 'Makalu'\npause -1\n"
+	return writeScript(filepath.Join(dir, "fig2.gp"), script)
+}
+
+// WritePlotData exports Figure 3 (success vs TTL per network size).
+func (r *Figure3Result) WritePlotData(dir string) error {
+	header := []string{"ttl"}
+	for _, c := range r.Curves {
+		header = append(header, fmt.Sprintf("n%d", c.N))
+	}
+	var rows [][]float64
+	for ttl := 0; ttl <= r.MaxTTL; ttl++ {
+		row := []float64{float64(ttl)}
+		for _, c := range r.Curves {
+			row = append(row, c.Success[ttl])
+		}
+		rows = append(rows, row)
+	}
+	if err := writeDat(filepath.Join(dir, "fig3.dat"), header, rows); err != nil {
+		return err
+	}
+	var plotLines []string
+	for i, c := range r.Curves {
+		plotLines = append(plotLines, fmt.Sprintf("'fig3.dat' using 1:%d with linespoints title '%d nodes'", i+2, c.N))
+	}
+	script := "set xlabel 'TTL'\nset ylabel 'success rate'\nset yrange [0:1]\n" +
+		"set title 'Figure 3: success rate vs TTL (1% replication)'\n" +
+		"plot " + strings.Join(plotLines, ", \\\n     ") + "\npause -1\n"
+	return writeScript(filepath.Join(dir, "fig3.gp"), script)
+}
+
+// WritePlotData exports Figure 4 (ABF success vs TTL per replication).
+func (r *Figure4Result) WritePlotData(dir string) error {
+	header := []string{"ttl"}
+	for _, c := range r.Curves {
+		header = append(header, fmt.Sprintf("repl%.1f%%", c.Replication*100))
+	}
+	var rows [][]float64
+	for ttl := 0; ttl <= r.MaxTTL; ttl++ {
+		row := []float64{float64(ttl)}
+		for _, c := range r.Curves {
+			row = append(row, c.Success[ttl])
+		}
+		rows = append(rows, row)
+	}
+	if err := writeDat(filepath.Join(dir, "fig4.dat"), header, rows); err != nil {
+		return err
+	}
+	var plotLines []string
+	for i, c := range r.Curves {
+		plotLines = append(plotLines,
+			fmt.Sprintf("'fig4.dat' using 1:%d with linespoints title '%.1f%% replication'", i+2, c.Replication*100))
+	}
+	script := "set xlabel 'TTL'\nset ylabel 'success rate'\nset yrange [0:1]\n" +
+		"set title 'Figure 4: attenuated-Bloom-filter search success vs TTL (100k nodes)'\n" +
+		"plot " + strings.Join(plotLines, ", \\\n     ") + "\npause -1\n"
+	return writeScript(filepath.Join(dir, "fig4.gp"), script)
+}
+
+// PlotWriter is implemented by figure results that export plot data.
+type PlotWriter interface {
+	WritePlotData(dir string) error
+}

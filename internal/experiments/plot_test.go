@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func countDataLines(t *testing.T, path string) int {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, line := range strings.Split(string(b), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWriteDatValidation(t *testing.T) {
+	dir := t.TempDir()
+	err := writeDat(filepath.Join(dir, "x.dat"), []string{"a", "b"}, [][]float64{{1}})
+	if err == nil {
+		t.Fatal("column mismatch should fail")
+	}
+}
+
+func TestFigurePlotExports(t *testing.T) {
+	opt := Options{N: 300, Queries: 40, Seed: 41}
+	dir := t.TempDir()
+
+	f1, err := RunFigure1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.WritePlotData(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Reference + 4 failure fractions = 5 series files + script.
+	for i := 0; i < 5; i++ {
+		p := filepath.Join(dir, "fig1_s"+string(rune('0'+i))+".dat")
+		if lines := countDataLines(t, p); lines < 100 {
+			t.Fatalf("%s has only %d points", p, lines)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig1.gp")); err != nil {
+		t.Fatal("fig1.gp missing")
+	}
+
+	f2, err := RunFigure2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.WritePlotData(dir); err != nil {
+		t.Fatal(err)
+	}
+	if lines := countDataLines(t, filepath.Join(dir, "fig2.dat")); lines != len(f2.Points) {
+		t.Fatalf("fig2.dat has %d rows, want %d", lines, len(f2.Points))
+	}
+
+	f3, err := RunFigure3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f3.WritePlotData(dir); err != nil {
+		t.Fatal(err)
+	}
+	if lines := countDataLines(t, filepath.Join(dir, "fig3.dat")); lines != f3.MaxTTL+1 {
+		t.Fatalf("fig3.dat has %d rows, want %d", lines, f3.MaxTTL+1)
+	}
+
+	f4, err := RunFigure4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f4.WritePlotData(dir); err != nil {
+		t.Fatal(err)
+	}
+	if lines := countDataLines(t, filepath.Join(dir, "fig4.dat")); lines != f4.MaxTTL+1 {
+		t.Fatalf("fig4.dat has %d rows, want %d", lines, f4.MaxTTL+1)
+	}
+	gp, err := os.ReadFile(filepath.Join(dir, "fig4.gp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(gp), "plot ") {
+		t.Fatal("fig4.gp has no plot command")
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"makalu/internal/spectral"
+)
+
+// ConnectivityRow is one row of the E2 (§3.3) algebraic-connectivity
+// comparison.
+type ConnectivityRow struct {
+	Topology TopologyName
+	Lambda1  float64
+	MinDeg   int
+}
+
+// ConnectivityResult is the full E2 output.
+type ConnectivityResult struct {
+	N    int
+	Rows []ConnectivityRow
+}
+
+// RunConnectivity reproduces §3.3: the algebraic connectivity λ₁ of
+// each topology (Lanczos above the dense cutoff).
+func RunConnectivity(opt Options) (*ConnectivityResult, error) {
+	nets, err := BuildAll(opt.N, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &ConnectivityResult{N: opt.N}
+	for _, nw := range nets {
+		l1, err := spectral.AlgebraicConnectivity(nw.Graph, 250, opt.Seed+7)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", nw.Name, err)
+		}
+		res.Rows = append(res.Rows, ConnectivityRow{
+			Topology: nw.Name,
+			Lambda1:  l1,
+			MinDeg:   nw.Graph.MinDegree(),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the E2 table.
+func (r *ConnectivityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E2 (§3.3) Algebraic connectivity λ₁ — %d nodes\n", r.N)
+	fmt.Fprintf(&b, "%-15s %10s %8s\n", "Topology", "λ₁", "d_min")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-15s %10.4f %8d\n", row.Topology, row.Lambda1, row.MinDeg)
+	}
+	return b.String()
+}
+
+// SpectrumSeries is one curve of Figure 1: the normalized Laplacian
+// spectrum of the Makalu overlay after failing a fraction of its
+// highest-degree nodes.
+type SpectrumSeries struct {
+	Label         string
+	FailFraction  float64
+	Points        []spectral.SpectrumPoint
+	ZeroMult      int // multiplicity of eigenvalue 0 (components)
+	OneMult       int // multiplicity of eigenvalue 1 (weak "edge" nodes)
+	DistToKRegRef float64
+}
+
+// Figure1Result is the E3 output: Makalu spectra under targeted
+// failure plus the k-regular reference curve.
+type Figure1Result struct {
+	N         int
+	Series    []SpectrumSeries
+	Reference SpectrumSeries // intact k-regular random graph
+}
+
+// RunFigure1 reproduces Figure 1: normalized Laplacian spectra of the
+// Makalu topology after failing the top-degree 0%, 10%, 20% and 30% of
+// nodes, compared with a k-regular random graph. The dense eigensolver
+// bounds practical N to a few thousand; Options.N beyond 1200 is
+// clamped (the paper's qualitative claim is size-independent).
+func RunFigure1(opt Options) (*Figure1Result, error) {
+	n := opt.N
+	if n > 1200 {
+		n = 1200
+	}
+	res := &Figure1Result{N: n}
+
+	// k-regular reference spectrum.
+	nets, err := BuildAll(n, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var refSpec []float64
+	for _, nw := range nets {
+		if nw.Name == TopoKRegular {
+			refSpec, err = spectral.NormalizedSpectrum(nw.Graph)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	const eigTol = 1e-6
+	res.Reference = SpectrumSeries{
+		Label:    "k-regular (intact)",
+		Points:   spectral.NormalizedRankPoints(refSpec),
+		ZeroMult: spectral.Multiplicity(refSpec, 0, eigTol),
+		OneMult:  spectral.Multiplicity(refSpec, 1, eigTol),
+	}
+
+	for _, frac := range []float64{0, 0.10, 0.20, 0.30} {
+		mk, err := BuildMakalu(n, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if frac > 0 {
+			mk.Overlay.FailTopDegree(int(frac * float64(n)))
+		}
+		sub, _ := mk.Overlay.FreezeAlive()
+		spec, err := spectral.NormalizedSpectrum(sub)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, SpectrumSeries{
+			Label:         fmt.Sprintf("Makalu, %.0f%% failed", frac*100),
+			FailFraction:  frac,
+			Points:        spectral.NormalizedRankPoints(spec),
+			ZeroMult:      spectral.Multiplicity(spec, 0, eigTol),
+			OneMult:       spectral.Multiplicity(spec, 1, eigTol),
+			DistToKRegRef: spectral.SpectrumDistance(spec, refSpec, 200),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the Figure 1 summary (multiplicities and distance to
+// the ideal spectrum) plus a coarse sampling of each curve.
+func (r *Figure1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E3 (Figure 1) Normalized Laplacian spectrum under targeted failure — %d nodes\n", r.N)
+	fmt.Fprintf(&b, "%-22s %8s %8s %14s\n", "Series", "mult(0)", "mult(1)", "dist-to-kreg")
+	fmt.Fprintf(&b, "%-22s %8d %8d %14s\n", r.Reference.Label, r.Reference.ZeroMult, r.Reference.OneMult, "-")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%-22s %8d %8d %14.4f\n", s.Label, s.ZeroMult, s.OneMult, s.DistToKRegRef)
+	}
+	b.WriteString("\nSpectrum samples (x = normalized rank, y = eigenvalue):\n")
+	xs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+	fmt.Fprintf(&b, "%-22s", "x")
+	for _, x := range xs {
+		fmt.Fprintf(&b, " %7.2f", x)
+	}
+	b.WriteString("\n")
+	sampleCurve := func(s SpectrumSeries) {
+		fmt.Fprintf(&b, "%-22s", s.Label)
+		for _, x := range xs {
+			idx := int(x * float64(len(s.Points)-1))
+			fmt.Fprintf(&b, " %7.3f", s.Points[idx].Y)
+		}
+		b.WriteString("\n")
+	}
+	sampleCurve(r.Reference)
+	for _, s := range r.Series {
+		sampleCurve(s)
+	}
+	return b.String()
+}

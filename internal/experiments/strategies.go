@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"makalu/internal/search"
+)
+
+// StrategyRow measures one search mechanism on one topology: success,
+// message cost, and how concentrated the per-node query load is — the
+// §6 critique of high-degree routing ("this approach placed a great
+// burden on these highly connected nodes").
+type StrategyRow struct {
+	Topology     TopologyName
+	Strategy     string
+	SuccessRate  float64
+	MsgsPerQuery float64
+	// Top1PctLoadShare is the fraction of all node-visits absorbed by
+	// the busiest 1% of nodes: ≈0.01 means perfectly spread load,
+	// large values mean hub burden.
+	Top1PctLoadShare float64
+}
+
+// StrategiesResult is the E14 output.
+type StrategiesResult struct {
+	N       int
+	Queries int
+	Rows    []StrategyRow
+}
+
+// RunStrategies compares the §6 search mechanisms — flooding,
+// 16-walker random walk, Adamic's degree-biased walk, expanding ring
+// — on the Makalu and power-law topologies, measuring both query
+// performance and load concentration.
+func RunStrategies(opt Options) (*StrategiesResult, error) {
+	nets, err := BuildAll(opt.N, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	store, err := PlaceObjects(opt.N, 20, 0.01, opt.Seed+101)
+	if err != nil {
+		return nil, err
+	}
+	res := &StrategiesResult{N: opt.N, Queries: opt.Queries}
+	for _, nw := range nets {
+		if nw.Name != TopoMakalu && nw.Name != TopoV04 {
+			continue
+		}
+		g := nw.Graph
+		type strategy struct {
+			name string
+			run  func(src int, match search.Matcher, load []int64, rng *rand.Rand) search.Result
+		}
+		fl := search.NewFlooder(g)
+		ring := search.NewFlooder(g)
+		walkCfg := search.DefaultWalkConfig()
+		walkCfg.MaxSteps = 4 * 256
+		ringCfg := search.RingConfig{StartTTL: 1, Step: 1, MaxTTL: 6}
+		strategies := []strategy{
+			{"flood-ttl4", func(src int, match search.Matcher, load []int64, _ *rand.Rand) search.Result {
+				return fl.Flood(src, 4, loadCounting(match, load))
+			}},
+			{"random-walk-16", func(src int, match search.Matcher, load []int64, rng *rand.Rand) search.Result {
+				return search.RandomWalk(g, src, walkCfg, loadCounting(match, load), rng)
+			}},
+			{"degree-biased", func(src int, match search.Matcher, load []int64, rng *rand.Rand) search.Result {
+				return search.DegreeBiasedWalk(g, src, 1024, loadCounting(match, load), rng)
+			}},
+			{"expanding-ring", func(src int, match search.Matcher, load []int64, rng *rand.Rand) search.Result {
+				return search.ExpandingRing(ring, src, ringCfg, loadCounting(match, load), rng)
+			}},
+		}
+		for _, st := range strategies {
+			rng := rand.New(rand.NewSource(opt.Seed + 103))
+			load := make([]int64, opt.N)
+			agg := search.NewAggregate()
+			for q := 0; q < opt.Queries; q++ {
+				obj := store.RandomObject(rng)
+				src := rng.Intn(opt.N)
+				agg.Add(st.run(src, func(u int) bool { return store.Has(u, obj) }, load, rng))
+			}
+			res.Rows = append(res.Rows, StrategyRow{
+				Topology:         nw.Name,
+				Strategy:         st.name,
+				SuccessRate:      agg.SuccessRate(),
+				MsgsPerQuery:     agg.MeanMessages(),
+				Top1PctLoadShare: topShare(load, 0.01),
+			})
+		}
+	}
+	return res, nil
+}
+
+// loadCounting wraps a matcher so every node visit is tallied —
+// matchers run exactly once per distinct visited node in all search
+// mechanisms.
+func loadCounting(match search.Matcher, load []int64) search.Matcher {
+	return func(u int) bool {
+		load[u]++
+		return match(u)
+	}
+}
+
+// topShare returns the fraction of total load carried by the busiest
+// `frac` of nodes.
+func topShare(load []int64, frac float64) float64 {
+	total := int64(0)
+	sorted := append([]int64(nil), load...)
+	for _, v := range sorted {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	k := int(frac * float64(len(sorted)))
+	if k < 1 {
+		k = 1
+	}
+	top := int64(0)
+	for _, v := range sorted[:k] {
+		top += v
+	}
+	return float64(top) / float64(total)
+}
+
+// Render formats the E14 table.
+func (r *StrategiesResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E14 (§6, extra) Search strategies: performance and hub burden — %d nodes, %d queries\n", r.N, r.Queries)
+	fmt.Fprintf(&b, "%-15s %-16s %9s %12s %14s\n", "Topology", "Strategy", "Success", "Msgs/Query", "Top-1% load")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-15s %-16s %8.1f%% %12.1f %13.1f%%\n",
+			row.Topology, row.Strategy, 100*row.SuccessRate, row.MsgsPerQuery, 100*row.Top1PctLoadShare)
+	}
+	return b.String()
+}

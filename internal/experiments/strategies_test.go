@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStrategiesShape(t *testing.T) {
+	opt := Options{N: 1500, Queries: 80, Seed: 23}
+	res, err := RunStrategies(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 2 topologies × 4 strategies
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	byKey := map[string]StrategyRow{}
+	for _, row := range res.Rows {
+		byKey[string(row.Topology)+"/"+row.Strategy] = row
+		if row.SuccessRate < 0 || row.SuccessRate > 1 {
+			t.Fatalf("bad success rate: %+v", row)
+		}
+		if row.Top1PctLoadShare < 0 || row.Top1PctLoadShare > 1 {
+			t.Fatalf("bad load share: %+v", row)
+		}
+	}
+	// §6's critique, measured: on the power-law topology the
+	// degree-biased walk concentrates load on hubs far more than
+	// flooding on Makalu does.
+	dbPL := byKey["Gnutella v0.4/degree-biased"]
+	flMK := byKey["Makalu/flood-ttl4"]
+	if dbPL.Top1PctLoadShare < 2*flMK.Top1PctLoadShare {
+		t.Fatalf("degree-biased hub share %.2f should dwarf Makalu flooding %.2f",
+			dbPL.Top1PctLoadShare, flMK.Top1PctLoadShare)
+	}
+	// Walks use far fewer messages than flooding, trading latency.
+	rwMK := byKey["Makalu/random-walk-16"]
+	if rwMK.MsgsPerQuery >= flMK.MsgsPerQuery {
+		t.Fatalf("random walk %.0f msgs should undercut flooding %.0f",
+			rwMK.MsgsPerQuery, flMK.MsgsPerQuery)
+	}
+	// Flooding on Makalu at 1% replication must be essentially
+	// always-successful.
+	if flMK.SuccessRate < 0.95 {
+		t.Fatalf("Makalu flooding success %.2f", flMK.SuccessRate)
+	}
+	if !strings.Contains(res.Render(), "Top-1%") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	// 100 nodes: one carries half the load.
+	load := make([]int64, 100)
+	for i := range load {
+		load[i] = 1
+	}
+	load[7] = 100
+	got := topShare(load, 0.01) // top 1 node
+	want := 100.0 / 199.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("topShare = %v, want %v", got, want)
+	}
+	if topShare(make([]int64, 10), 0.01) != 0 {
+		t.Fatal("zero load should give zero share")
+	}
+}

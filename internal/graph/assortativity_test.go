@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAssortativityRegularGraphIsZero(t *testing.T) {
+	if r := cycleGraph(20).Freeze(nil).DegreeAssortativity(); r != 0 {
+		t.Fatalf("cycle (2-regular) assortativity = %v, want 0 (no variance)", r)
+	}
+}
+
+func TestAssortativityStarIsNegative(t *testing.T) {
+	// Star: every edge joins the hub (degree n-1) to a leaf (degree
+	// 1): perfectly disassortative, r = -1.
+	g := NewMutable(10)
+	for i := 1; i < 10; i++ {
+		g.AddEdge(0, i)
+	}
+	r := g.Freeze(nil).DegreeAssortativity()
+	if math.Abs(r-(-1)) > 1e-9 {
+		t.Fatalf("star assortativity = %v, want -1", r)
+	}
+}
+
+func TestAssortativityAssortativePair(t *testing.T) {
+	// Two K4 cliques joined by a path of degree-2 nodes: high-degree
+	// nodes attach to high-degree nodes, low to low → r > 0.
+	g := NewMutable(10)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j)
+			g.AddEdge(4+i, 4+j)
+		}
+	}
+	g.AddEdge(8, 9) // an isolated degree-1 pair adds matched low degrees
+	r := g.Freeze(nil).DegreeAssortativity()
+	if r <= 0 {
+		t.Fatalf("clique-pair assortativity = %v, want > 0", r)
+	}
+}
+
+func TestAssortativityEmptyGraph(t *testing.T) {
+	if r := NewMutable(5).Freeze(nil).DegreeAssortativity(); r != 0 {
+		t.Fatalf("empty graph assortativity = %v", r)
+	}
+}
+
+func TestAssortativityBounds(t *testing.T) {
+	// Any graph's r must lie in [-1, 1].
+	g := NewMutable(30)
+	for i := 0; i < 29; i++ {
+		g.AddEdge(i, i+1)
+		if i%3 == 0 && i+5 < 30 {
+			g.AddEdge(i, i+5)
+		}
+	}
+	r := g.Freeze(nil).DegreeAssortativity()
+	if r < -1-1e-9 || r > 1+1e-9 {
+		t.Fatalf("assortativity %v out of [-1, 1]", r)
+	}
+}

@@ -1,0 +1,292 @@
+// Package graph provides the compact undirected-graph substrate used
+// by every Makalu topology and analysis: a mutable adjacency structure
+// for overlay construction, a frozen CSR representation for traversal,
+// parallel all-pairs shortest-path statistics, connected components
+// and degree statistics.
+//
+// Node identifiers are dense ints in [0, N). Graphs are simple and
+// undirected: self-loops and duplicate edges are rejected at insert.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mutable is an undirected simple graph under construction. The zero
+// value is unusable; create one with NewMutable.
+type Mutable struct {
+	adj [][]int32
+	m   int // number of undirected edges
+}
+
+// NewMutable returns an empty graph on n nodes (0..n-1).
+func NewMutable(n int) *Mutable {
+	return &Mutable{adj: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Mutable) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Mutable) M() int { return g.m }
+
+// Degree returns the degree of node u.
+func (g *Mutable) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors returns the adjacency slice of u. The slice is owned by
+// the graph and must not be modified by the caller.
+func (g *Mutable) Neighbors(u int) []int32 { return g.adj[u] }
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Mutable) HasEdge(u, v int) bool {
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, v = g.adj[v], u
+	}
+	for _, w := range a {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the undirected edge (u, v). It returns false when
+// the edge is a self-loop or already present.
+func (g *Mutable) AddEdge(u, v int) bool {
+	if u == v || g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge (u, v) and reports whether it
+// was present.
+func (g *Mutable) RemoveEdge(u, v int) bool {
+	if !removeFrom(&g.adj[u], int32(v)) {
+		return false
+	}
+	removeFrom(&g.adj[v], int32(u))
+	g.m--
+	return true
+}
+
+func removeFrom(s *[]int32, v int32) bool {
+	a := *s
+	for i, w := range a {
+		if w == v {
+			a[i] = a[len(a)-1]
+			*s = a[:len(a)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// IsolateNode removes every edge incident to u.
+func (g *Mutable) IsolateNode(u int) {
+	for _, v := range g.adj[u] {
+		removeFrom(&g.adj[v], int32(u))
+		g.m--
+	}
+	g.adj[u] = g.adj[u][:0]
+}
+
+// AddNode appends a new isolated node and returns its id.
+func (g *Mutable) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Mutable) Clone() *Mutable {
+	c := &Mutable{adj: make([][]int32, len(g.adj)), m: g.m}
+	for i, a := range g.adj {
+		c.adj[i] = append([]int32(nil), a...)
+	}
+	return c
+}
+
+// Graph is a frozen CSR (compressed sparse row) view of an undirected
+// graph, optimized for traversal. Edge weights, when present, are
+// aligned with the Edges slice.
+type Graph struct {
+	Offsets []int32   // len N+1; neighbors of u are Edges[Offsets[u]:Offsets[u+1]]
+	Edges   []int32   // 2*M directed half-edges
+	Weights []float64 // nil, or len(Edges): weight of each half-edge
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.Offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.Edges) / 2 }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return int(g.Offsets[u+1] - g.Offsets[u]) }
+
+// Neighbors returns the (sorted) neighbor slice of u. The slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 {
+	return g.Edges[g.Offsets[u]:g.Offsets[u+1]]
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists, using
+// binary search over the sorted neighbor list.
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// WeightFunc supplies the latency (cost) of an edge.
+type WeightFunc func(u, v int) float64
+
+// Freeze converts the mutable graph to CSR form. When latency is
+// non-nil, per-half-edge weights are recorded; they must be symmetric
+// (latency(u,v) == latency(v,u)) for shortest-path results to be
+// meaningful on an undirected graph.
+func (g *Mutable) Freeze(latency WeightFunc) *Graph {
+	n := g.N()
+	offsets := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		offsets[u+1] = offsets[u] + int32(len(g.adj[u]))
+	}
+	edges := make([]int32, offsets[n])
+	for u := 0; u < n; u++ {
+		copy(edges[offsets[u]:offsets[u+1]], g.adj[u])
+		nb := edges[offsets[u]:offsets[u+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	fg := &Graph{Offsets: offsets, Edges: edges}
+	if latency != nil {
+		fg.Weights = make([]float64, len(edges))
+		for u := 0; u < n; u++ {
+			for i := offsets[u]; i < offsets[u+1]; i++ {
+				fg.Weights[i] = latency(u, int(edges[i]))
+			}
+		}
+	}
+	return fg
+}
+
+// Thaw converts a frozen graph back to a mutable one.
+func (g *Graph) Thaw() *Mutable {
+	n := g.N()
+	m := NewMutable(n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				m.AddEdge(u, int(v))
+			}
+		}
+	}
+	return m
+}
+
+// InducedSubgraph returns the subgraph on the nodes where keep[u] is
+// true, with nodes renumbered densely, plus the mapping from new index
+// to original index. Weights are preserved when present.
+func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []int32) {
+	if len(keep) != g.N() {
+		panic(fmt.Sprintf("graph: keep mask has %d entries for %d nodes", len(keep), g.N()))
+	}
+	newID := make([]int32, g.N())
+	var order []int32
+	for u := range keep {
+		if keep[u] {
+			newID[u] = int32(len(order))
+			order = append(order, int32(u))
+		} else {
+			newID[u] = -1
+		}
+	}
+	offsets := make([]int32, len(order)+1)
+	var edges []int32
+	var weights []float64
+	for i, old := range order {
+		for j := g.Offsets[old]; j < g.Offsets[old+1]; j++ {
+			v := g.Edges[j]
+			if keep[v] {
+				edges = append(edges, newID[v])
+				if g.Weights != nil {
+					weights = append(weights, g.Weights[j])
+				}
+			}
+		}
+		offsets[i+1] = int32(len(edges))
+	}
+	sub := &Graph{Offsets: offsets, Edges: edges}
+	if g.Weights != nil {
+		sub.Weights = weights
+	}
+	return sub, order
+}
+
+// MeanDegree returns the average node degree.
+func (g *Graph) MeanDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return float64(len(g.Edges)) / float64(g.N())
+}
+
+// MaxDegree returns the largest node degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the smallest node degree (0 for an empty graph).
+func (g *Graph) MinDegree() int {
+	if g.N() == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for u := 1; u < g.N(); u++ {
+		if d := g.Degree(u); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for u := 0; u < g.N(); u++ {
+		counts[g.Degree(u)]++
+	}
+	return counts
+}
+
+// TopDegreeNodes returns the k nodes with the highest degree,
+// descending (ties broken by node id). It is used by the targeted
+// failure experiments, which remove the best-connected nodes first.
+func (g *Graph) TopDegreeNodes(k int) []int {
+	n := g.N()
+	if k > n {
+		k = n
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.Degree(ids[i]), g.Degree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids[:k]
+}

@@ -1,0 +1,68 @@
+package graph
+
+import "testing"
+
+func TestCoreNumbersClique(t *testing.T) {
+	// K5: every node has core number 4.
+	for u, c := range completeGraph(5).Freeze(nil).CoreNumbers() {
+		if c != 4 {
+			t.Fatalf("node %d core = %d, want 4", u, c)
+		}
+	}
+}
+
+func TestCoreNumbersPath(t *testing.T) {
+	// A path is a 1-core everywhere (endpoints included).
+	for u, c := range pathGraph(7).Freeze(nil).CoreNumbers() {
+		if c != 1 {
+			t.Fatalf("node %d core = %d, want 1", u, c)
+		}
+	}
+}
+
+func TestCoreNumbersCliqueWithTail(t *testing.T) {
+	// K4 (nodes 0-3) with a tail 3-4-5: clique in the 3-core, tail in
+	// the 1-core.
+	g := NewMutable(6)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	core := g.Freeze(nil).CoreNumbers()
+	want := []int{3, 3, 3, 3, 1, 1}
+	for u := range want {
+		if core[u] != want[u] {
+			t.Fatalf("core = %v, want %v", core, want)
+		}
+	}
+	if d := g.Freeze(nil).Degeneracy(); d != 3 {
+		t.Fatalf("degeneracy = %d, want 3", d)
+	}
+}
+
+func TestCoreNumbersIsolatedAndEmpty(t *testing.T) {
+	g := NewMutable(3)
+	g.AddEdge(0, 1)
+	core := g.Freeze(nil).CoreNumbers()
+	if core[2] != 0 || core[0] != 1 {
+		t.Fatalf("core = %v", core)
+	}
+	if got := NewMutable(0).Freeze(nil).CoreNumbers(); len(got) != 0 {
+		t.Fatal("empty graph should give empty cores")
+	}
+}
+
+func TestCoreNumbersMonotoneUnderEdgeAddition(t *testing.T) {
+	g := cycleGraph(10)
+	before := g.Freeze(nil).CoreNumbers()
+	g.AddEdge(0, 5)
+	after := g.Freeze(nil).CoreNumbers()
+	for u := range before {
+		if after[u] < before[u] {
+			t.Fatalf("core number decreased at %d: %d -> %d", u, before[u], after[u])
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package netmodel implements the physical-network latency models the
+// paper uses to validate Makalu (§3.1): a synthetic Euclidean plane, a
+// GT-ITM-style transit-stub hierarchy and a PlanetLab-like RTT matrix.
+//
+// All models are deterministic given their seed, symmetric
+// (Latency(u,v) == Latency(v,u)) and cheap to query, so the overlay
+// algorithms can probe arbitrary pairs without precomputing an O(n²)
+// matrix.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model supplies pairwise latency between nodes of a simulated
+// physical network. Latencies are in abstract milliseconds.
+type Model interface {
+	// N returns the number of nodes the model covers.
+	N() int
+	// Latency returns the symmetric latency between u and v.
+	// Latency(u, u) is 0.
+	Latency(u, v int) float64
+}
+
+// Euclidean places nodes uniformly at random on a square plane; the
+// latency between two nodes is their Euclidean distance. This is the
+// paper's first synthetic model.
+type Euclidean struct {
+	X, Y []float64
+}
+
+// NewEuclidean creates an Euclidean model of n nodes on a side×side
+// plane using the given seed.
+func NewEuclidean(n int, side float64, seed int64) *Euclidean {
+	if n < 0 {
+		panic("netmodel: negative node count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	e := &Euclidean{X: make([]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		e.X[i] = rng.Float64() * side
+		e.Y[i] = rng.Float64() * side
+	}
+	return e
+}
+
+// N returns the number of nodes.
+func (e *Euclidean) N() int { return len(e.X) }
+
+// Latency returns the Euclidean distance between u and v.
+func (e *Euclidean) Latency(u, v int) float64 {
+	dx := e.X[u] - e.X[v]
+	dy := e.Y[u] - e.Y[v]
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// TransitStubConfig parameterizes the GT-ITM-style hierarchy.
+type TransitStubConfig struct {
+	TransitDomains   int     // number of transit (backbone) domains
+	TransitPerDomain int     // transit routers per transit domain
+	StubsPerTransit  int     // stub domains hanging off each transit router
+	LANLatency       float64 // max latency from a host to its stub router
+	StubUplink       float64 // mean latency of the stub→transit uplink
+	TransitSide      float64 // side of the plane transit routers live on
+	Seed             int64
+}
+
+// DefaultTransitStub returns parameters that yield realistic
+// wide-area latencies (LAN ≈ 1–5 ms, uplinks ≈ 10–30 ms, backbone up
+// to ~120 ms).
+func DefaultTransitStub() TransitStubConfig {
+	return TransitStubConfig{
+		TransitDomains:   4,
+		TransitPerDomain: 4,
+		StubsPerTransit:  3,
+		LANLatency:       5,
+		StubUplink:       20,
+		TransitSide:      100,
+		Seed:             1,
+	}
+}
+
+// TransitStub is a closed-form transit-stub latency model: every host
+// belongs to a stub domain attached to a transit router; transit
+// routers are placed on a plane whose Euclidean distances form the
+// backbone latency. The latency between two hosts is
+//
+//	local(u) + uplink(stub(u)) + backbone + uplink(stub(v)) + local(v)
+//
+// with the intra-stub case collapsing to local(u)+local(v). This
+// reproduces the hierarchical latency structure of GT-ITM topologies
+// without shelling out to the original generator.
+type TransitStub struct {
+	cfg       TransitStubConfig
+	n         int
+	stubOf    []int32   // host -> stub domain
+	local     []float64 // host -> latency to its stub router
+	transitOf []int32   // stub -> transit router
+	uplink    []float64 // stub -> uplink latency
+	tx, ty    []float64 // transit router coordinates
+}
+
+// NewTransitStub builds a transit-stub model covering n hosts. Hosts
+// are assigned to stub domains round-robin so domain sizes are
+// balanced.
+func NewTransitStub(n int, cfg TransitStubConfig) *TransitStub {
+	if cfg.TransitDomains <= 0 || cfg.TransitPerDomain <= 0 || cfg.StubsPerTransit <= 0 {
+		panic("netmodel: transit-stub config must have positive counts")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numTransit := cfg.TransitDomains * cfg.TransitPerDomain
+	numStubs := numTransit * cfg.StubsPerTransit
+	ts := &TransitStub{
+		cfg:       cfg,
+		n:         n,
+		stubOf:    make([]int32, n),
+		local:     make([]float64, n),
+		transitOf: make([]int32, numStubs),
+		uplink:    make([]float64, numStubs),
+		tx:        make([]float64, numTransit),
+		ty:        make([]float64, numTransit),
+	}
+	// Transit routers cluster per domain: each domain gets a random
+	// center, routers scatter near it.
+	for d := 0; d < cfg.TransitDomains; d++ {
+		cx := rng.Float64() * cfg.TransitSide
+		cy := rng.Float64() * cfg.TransitSide
+		for r := 0; r < cfg.TransitPerDomain; r++ {
+			i := d*cfg.TransitPerDomain + r
+			ts.tx[i] = cx + (rng.Float64()-0.5)*cfg.TransitSide/5
+			ts.ty[i] = cy + (rng.Float64()-0.5)*cfg.TransitSide/5
+		}
+	}
+	for s := 0; s < numStubs; s++ {
+		ts.transitOf[s] = int32(s / cfg.StubsPerTransit)
+		ts.uplink[s] = cfg.StubUplink * (0.5 + rng.Float64())
+	}
+	for h := 0; h < n; h++ {
+		ts.stubOf[h] = int32(h % numStubs)
+		ts.local[h] = cfg.LANLatency * rng.Float64()
+	}
+	return ts
+}
+
+// N returns the number of hosts.
+func (ts *TransitStub) N() int { return ts.n }
+
+// Stub returns the stub-domain id of host u (exported for tests and
+// workload generators that want locality-aware placement).
+func (ts *TransitStub) Stub(u int) int { return int(ts.stubOf[u]) }
+
+// Latency returns the hierarchical latency between hosts u and v.
+func (ts *TransitStub) Latency(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	su, sv := ts.stubOf[u], ts.stubOf[v]
+	if su == sv {
+		return ts.local[u] + ts.local[v]
+	}
+	tu, tv := ts.transitOf[su], ts.transitOf[sv]
+	backbone := 0.0
+	if tu != tv {
+		dx := ts.tx[tu] - ts.tx[tv]
+		dy := ts.ty[tu] - ts.ty[tv]
+		backbone = math.Sqrt(dx*dx + dy*dy)
+	}
+	// Group the terms so the sum is bit-identical in both directions.
+	return (ts.local[u] + ts.local[v]) + (ts.uplink[su] + ts.uplink[sv]) + backbone
+}
+
+// PlanetLabConfig parameterizes the synthetic PlanetLab-style matrix.
+type PlanetLabConfig struct {
+	Sites        int     // number of measurement sites (paper: ~200)
+	Clusters     int     // geographic clusters (continents)
+	IntraCluster float64 // mean RTT between sites in a cluster
+	InterCluster float64 // mean RTT between sites in different clusters
+	SiteLAN      float64 // max node-to-site latency
+	JitterFrac   float64 // relative jitter applied per site pair
+	Seed         int64
+}
+
+// DefaultPlanetLab mirrors the gross statistics of the Stribling
+// all-pairs ping dataset: ~200 sites in a handful of continental
+// clusters, intra-continent RTTs of tens of ms and intercontinental
+// RTTs of 100–300 ms with heavy jitter.
+func DefaultPlanetLab() PlanetLabConfig {
+	return PlanetLabConfig{
+		Sites:        200,
+		Clusters:     5,
+		IntraCluster: 30,
+		InterCluster: 160,
+		SiteLAN:      3,
+		JitterFrac:   0.4,
+		Seed:         1,
+	}
+}
+
+// PlanetLab synthesizes an all-pairs RTT matrix over a fixed set of
+// sites and expands it to n nodes by assigning each node to a site —
+// the same expansion the paper applies to the measured PlanetLab
+// matrix. Site-to-site RTTs are drawn once; node latency adds a small
+// LAN component on each side.
+type PlanetLab struct {
+	cfg    PlanetLabConfig
+	siteOf []int32
+	lan    []float64
+	rtt    []float64 // sites × sites, row-major
+	sites  int
+}
+
+// NewPlanetLab builds the synthetic matrix and assigns n nodes to
+// sites uniformly at random.
+func NewPlanetLab(n int, cfg PlanetLabConfig) *PlanetLab {
+	if cfg.Sites <= 0 || cfg.Clusters <= 0 {
+		panic("netmodel: planetlab config must have positive sites and clusters")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pl := &PlanetLab{
+		cfg:    cfg,
+		siteOf: make([]int32, n),
+		lan:    make([]float64, n),
+		rtt:    make([]float64, cfg.Sites*cfg.Sites),
+		sites:  cfg.Sites,
+	}
+	cluster := make([]int, cfg.Sites)
+	for s := range cluster {
+		cluster[s] = rng.Intn(cfg.Clusters)
+	}
+	for a := 0; a < cfg.Sites; a++ {
+		for b := a + 1; b < cfg.Sites; b++ {
+			base := cfg.InterCluster
+			if cluster[a] == cluster[b] {
+				base = cfg.IntraCluster
+			}
+			// Heavy-ish tail: exponential-like multiplier so a few
+			// pairs are much slower, as in real ping data.
+			mult := 1 + cfg.JitterFrac*rng.ExpFloat64()
+			v := base * mult
+			pl.rtt[a*cfg.Sites+b] = v
+			pl.rtt[b*cfg.Sites+a] = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		pl.siteOf[i] = int32(rng.Intn(cfg.Sites))
+		pl.lan[i] = rng.Float64() * cfg.SiteLAN
+	}
+	return pl
+}
+
+// N returns the number of nodes.
+func (pl *PlanetLab) N() int { return len(pl.siteOf) }
+
+// Site returns the site id node u is attached to.
+func (pl *PlanetLab) Site(u int) int { return int(pl.siteOf[u]) }
+
+// Latency returns the RTT-derived latency between nodes u and v.
+func (pl *PlanetLab) Latency(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	su, sv := pl.siteOf[u], pl.siteOf[v]
+	if su == sv {
+		return pl.lan[u] + pl.lan[v]
+	}
+	// Group the LAN terms so the sum is bit-identical in both directions.
+	return (pl.lan[u] + pl.lan[v]) + pl.rtt[int(su)*pl.sites+int(sv)]
+}
+
+// Matrix is an explicit latency matrix, mainly for tests and tiny
+// hand-built scenarios.
+type Matrix struct {
+	n int
+	d []float64
+}
+
+// NewMatrix wraps a dense row-major n×n latency matrix. It validates
+// symmetry and zero diagonal.
+func NewMatrix(n int, d []float64) (*Matrix, error) {
+	if len(d) != n*n {
+		return nil, fmt.Errorf("netmodel: matrix needs %d entries, got %d", n*n, len(d))
+	}
+	for i := 0; i < n; i++ {
+		if d[i*n+i] != 0 {
+			return nil, fmt.Errorf("netmodel: diagonal entry %d is %v, want 0", i, d[i*n+i])
+		}
+		for j := i + 1; j < n; j++ {
+			if d[i*n+j] != d[j*n+i] {
+				return nil, fmt.Errorf("netmodel: matrix asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	return &Matrix{n: n, d: d}, nil
+}
+
+// N returns the matrix dimension.
+func (m *Matrix) N() int { return m.n }
+
+// Latency returns the stored latency.
+func (m *Matrix) Latency(u, v int) float64 { return m.d[u*m.n+v] }
+
+// Uniform is a degenerate model where every distinct pair has the same
+// latency. It isolates the connectivity term of the Makalu rating
+// function in ablation experiments (beta becomes irrelevant).
+type Uniform struct {
+	Nodes int
+	Cost  float64
+}
+
+// N returns the number of nodes.
+func (u Uniform) N() int { return u.Nodes }
+
+// Latency returns Cost for distinct nodes and 0 on the diagonal.
+func (u Uniform) Latency(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return u.Cost
+}

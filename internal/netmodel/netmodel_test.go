@@ -1,0 +1,271 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// checkModelInvariants verifies symmetry, zero diagonal and
+// non-negativity over sampled pairs.
+func checkModelInvariants(t *testing.T, m Model) {
+	t.Helper()
+	n := m.N()
+	step := n/37 + 1
+	for u := 0; u < n; u += step {
+		if d := m.Latency(u, u); d != 0 {
+			t.Fatalf("Latency(%d,%d) = %v, want 0", u, u, d)
+		}
+		for v := 0; v < n; v += step {
+			duv, dvu := m.Latency(u, v), m.Latency(v, u)
+			if duv != dvu {
+				t.Fatalf("asymmetric: d(%d,%d)=%v d(%d,%d)=%v", u, v, duv, v, u, dvu)
+			}
+			if duv < 0 || math.IsNaN(duv) {
+				t.Fatalf("invalid latency d(%d,%d)=%v", u, v, duv)
+			}
+		}
+	}
+}
+
+func TestEuclideanInvariants(t *testing.T) {
+	checkModelInvariants(t, NewEuclidean(300, 1000, 42))
+}
+
+func TestEuclideanBounds(t *testing.T) {
+	e := NewEuclidean(100, 50, 1)
+	maxDist := 50 * math.Sqrt2
+	for u := 0; u < 100; u++ {
+		for v := 0; v < 100; v++ {
+			if d := e.Latency(u, v); d > maxDist {
+				t.Fatalf("distance %v exceeds plane diagonal %v", d, maxDist)
+			}
+		}
+	}
+}
+
+func TestEuclideanDeterminism(t *testing.T) {
+	a := NewEuclidean(50, 100, 7)
+	b := NewEuclidean(50, 100, 7)
+	for u := 0; u < 50; u++ {
+		for v := 0; v < 50; v++ {
+			if a.Latency(u, v) != b.Latency(u, v) {
+				t.Fatal("same seed must give same latencies")
+			}
+		}
+	}
+	c := NewEuclidean(50, 100, 8)
+	same := true
+	for u := 0; u < 50 && same; u++ {
+		if a.X[u] != c.X[u] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different coordinates")
+	}
+}
+
+func TestEuclideanTriangleInequality(t *testing.T) {
+	e := NewEuclidean(40, 100, 3)
+	for u := 0; u < 40; u++ {
+		for v := 0; v < 40; v++ {
+			for w := 0; w < 40; w += 7 {
+				if e.Latency(u, v) > e.Latency(u, w)+e.Latency(w, v)+1e-9 {
+					t.Fatalf("triangle inequality violated at (%d,%d,%d)", u, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestEuclideanNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEuclidean(-1, 10, 1)
+}
+
+func TestTransitStubInvariants(t *testing.T) {
+	checkModelInvariants(t, NewTransitStub(500, DefaultTransitStub()))
+}
+
+func TestTransitStubHierarchy(t *testing.T) {
+	cfg := DefaultTransitStub()
+	ts := NewTransitStub(2000, cfg)
+	// Hosts in the same stub should be much closer than hosts in
+	// different transit domains, on average.
+	var sameStub, crossStub []float64
+	for u := 0; u < 500; u++ {
+		for v := u + 1; v < 500; v++ {
+			d := ts.Latency(u, v)
+			if ts.Stub(u) == ts.Stub(v) {
+				sameStub = append(sameStub, d)
+			} else {
+				crossStub = append(crossStub, d)
+			}
+		}
+	}
+	if len(sameStub) == 0 || len(crossStub) == 0 {
+		t.Fatal("test workload should produce both kinds of pairs")
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(sameStub) >= mean(crossStub) {
+		t.Fatalf("intra-stub mean %v should be below cross-stub mean %v",
+			mean(sameStub), mean(crossStub))
+	}
+	// Intra-stub latency is bounded by two LAN hops.
+	for _, d := range sameStub {
+		if d > 2*cfg.LANLatency {
+			t.Fatalf("intra-stub latency %v exceeds 2*LAN %v", d, 2*cfg.LANLatency)
+		}
+	}
+}
+
+func TestTransitStubBalancedStubs(t *testing.T) {
+	cfg := DefaultTransitStub()
+	n := 960
+	ts := NewTransitStub(n, cfg)
+	numStubs := cfg.TransitDomains * cfg.TransitPerDomain * cfg.StubsPerTransit
+	counts := make([]int, numStubs)
+	for h := 0; h < n; h++ {
+		counts[ts.Stub(h)]++
+	}
+	want := n / numStubs
+	for s, c := range counts {
+		if c < want || c > want+1 {
+			t.Fatalf("stub %d has %d hosts, want ~%d", s, c, want)
+		}
+	}
+}
+
+func TestTransitStubBadConfigPanics(t *testing.T) {
+	cfg := DefaultTransitStub()
+	cfg.TransitDomains = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTransitStub(10, cfg)
+}
+
+func TestPlanetLabInvariants(t *testing.T) {
+	checkModelInvariants(t, NewPlanetLab(400, DefaultPlanetLab()))
+}
+
+func TestPlanetLabClusterStructure(t *testing.T) {
+	cfg := DefaultPlanetLab()
+	pl := NewPlanetLab(3000, cfg)
+	var sameSite, crossSite []float64
+	for u := 0; u < 300; u++ {
+		for v := u + 1; v < 300; v++ {
+			d := pl.Latency(u, v)
+			if pl.Site(u) == pl.Site(v) {
+				sameSite = append(sameSite, d)
+			} else {
+				crossSite = append(crossSite, d)
+			}
+		}
+	}
+	if len(sameSite) == 0 {
+		t.Skip("no same-site pairs in sample")
+	}
+	for _, d := range sameSite {
+		if d > 2*cfg.SiteLAN {
+			t.Fatalf("same-site latency %v exceeds 2*LAN", d)
+		}
+	}
+	// Cross-site latencies must be at least the intra-cluster base.
+	for _, d := range crossSite {
+		if d < cfg.IntraCluster {
+			t.Fatalf("cross-site latency %v below intra-cluster base %v", d, cfg.IntraCluster)
+		}
+	}
+}
+
+func TestPlanetLabHeavyTail(t *testing.T) {
+	pl := NewPlanetLab(1000, DefaultPlanetLab())
+	var max, sum float64
+	count := 0
+	for u := 0; u < 200; u++ {
+		for v := u + 1; v < 200; v++ {
+			d := pl.Latency(u, v)
+			sum += d
+			count++
+			if d > max {
+				max = d
+			}
+		}
+	}
+	mean := sum / float64(count)
+	if max < 2*mean {
+		t.Fatalf("expected heavy tail: max %v should be well above mean %v", max, mean)
+	}
+}
+
+func TestPlanetLabBadConfigPanics(t *testing.T) {
+	cfg := DefaultPlanetLab()
+	cfg.Clusters = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlanetLab(10, cfg)
+}
+
+func TestMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(2, []float64{0, 1, 1}); err == nil {
+		t.Fatal("short matrix should fail")
+	}
+	if _, err := NewMatrix(2, []float64{0, 1, 2, 0}); err == nil {
+		t.Fatal("asymmetric matrix should fail")
+	}
+	if _, err := NewMatrix(2, []float64{5, 1, 1, 0}); err == nil {
+		t.Fatal("nonzero diagonal should fail")
+	}
+	m, err := NewMatrix(2, []float64{0, 3, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 2 || m.Latency(0, 1) != 3 || m.Latency(1, 0) != 3 {
+		t.Fatal("matrix lookups wrong")
+	}
+}
+
+func TestUniformModel(t *testing.T) {
+	u := Uniform{Nodes: 5, Cost: 7}
+	checkModelInvariants(t, u)
+	if u.Latency(1, 2) != 7 {
+		t.Fatal("uniform latency wrong")
+	}
+}
+
+func TestModelsSymmetryProperty(t *testing.T) {
+	models := []Model{
+		NewEuclidean(64, 100, 11),
+		NewTransitStub(64, DefaultTransitStub()),
+		NewPlanetLab(64, DefaultPlanetLab()),
+	}
+	f := func(a, b uint8) bool {
+		u, v := int(a)%64, int(b)%64
+		for _, m := range models {
+			if m.Latency(u, v) != m.Latency(v, u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

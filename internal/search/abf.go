@@ -1,0 +1,281 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"makalu/internal/bloom"
+	"makalu/internal/content"
+	"makalu/internal/graph"
+)
+
+// ABFConfig parameterizes attenuated-Bloom-filter identifier search
+// (§4.6). Depth is the hop horizon: each node publishes a hierarchy
+// with Depth+1 levels, level h summarizing the identifiers hosted
+// exactly h hops away (level 0 = the node's own store). The paper
+// uses depth 3.
+type ABFConfig struct {
+	Depth     int     // hop horizon (levels = Depth+1)
+	LevelBits []int   // optional per-level filter sizes; nil = auto-size
+	Hashes    int     // hash functions per filter (0 = 4)
+	Decay     float64 // per-level weight decay of the routing potential (0 = 0.5)
+	TargetFPR float64 // per-level false-positive target for auto-sizing (0 = 0.01)
+}
+
+// DefaultABFConfig returns the paper's depth-3 configuration.
+func DefaultABFConfig() ABFConfig {
+	return ABFConfig{Depth: 3, Hashes: 4, Decay: 0.5, TargetFPR: 0.01}
+}
+
+// ABFNetwork holds the published filter hierarchy of every node. The
+// implementation stores one self-rooted hierarchy per node that all
+// neighbors consult (see DESIGN.md: per-edge filters without
+// back-edge exclusion), which keeps 100k-node networks in memory.
+type ABFNetwork struct {
+	g       *graph.Graph
+	store   *content.Store
+	cfg     ABFConfig
+	filters []*bloom.Attenuated
+}
+
+// BuildABFNetwork computes every node's hierarchy with an exact
+// distance-limited BFS: node u inserts, at level h, the identifiers
+// hosted by each node exactly h hops away. Construction parallelizes
+// across nodes.
+func BuildABFNetwork(g *graph.Graph, store *content.Store, cfg ABFConfig) (*ABFNetwork, error) {
+	if g.N() != store.N() {
+		return nil, fmt.Errorf("search: graph has %d nodes, store %d", g.N(), store.N())
+	}
+	if cfg.Depth < 1 {
+		return nil, fmt.Errorf("search: ABF depth must be >= 1, got %d", cfg.Depth)
+	}
+	if cfg.Hashes <= 0 {
+		cfg.Hashes = 4
+	}
+	if cfg.Decay <= 0 || cfg.Decay >= 1 {
+		cfg.Decay = 0.5
+	}
+	if cfg.TargetFPR <= 0 || cfg.TargetFPR >= 1 {
+		cfg.TargetFPR = 0.01
+	}
+	levels := cfg.Depth + 1
+	if cfg.LevelBits == nil {
+		cfg.LevelBits = autoLevelBits(g, store, levels, cfg.TargetFPR)
+	}
+	if len(cfg.LevelBits) != levels {
+		return nil, fmt.Errorf("search: need %d level sizes, got %d", levels, len(cfg.LevelBits))
+	}
+
+	net := &ABFNetwork{
+		g:       g,
+		store:   store,
+		cfg:     cfg,
+		filters: make([]*bloom.Attenuated, g.N()),
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (g.N() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > g.N() {
+			hi = g.N()
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			dist := make([]int32, g.N())
+			for i := range dist {
+				dist[i] = -1
+			}
+			queue := make([]int32, 0, 4096)
+			var touched []int32
+			for u := lo; u < hi; u++ {
+				a := bloom.NewAttenuated(cfg.LevelBits, cfg.Hashes)
+				// Distance-limited BFS with manual reset of only the
+				// touched entries (dist is shared per worker).
+				queue = queue[:0]
+				touched = touched[:0]
+				dist[u] = 0
+				queue = append(queue, int32(u))
+				touched = append(touched, int32(u))
+				for head := 0; head < len(queue); head++ {
+					x := queue[head]
+					dx := dist[x]
+					for _, obj := range store.NodeObjects(int(x)) {
+						a.Add(int(dx), obj)
+					}
+					if int(dx) >= cfg.Depth {
+						continue
+					}
+					for _, v := range g.Neighbors(int(x)) {
+						if dist[v] == -1 {
+							dist[v] = dx + 1
+							queue = append(queue, v)
+							touched = append(touched, v)
+						}
+					}
+				}
+				for _, x := range touched {
+					dist[x] = -1
+				}
+				net.filters[u] = a
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return net, nil
+}
+
+// autoLevelBits sizes level filters for the expected identifier count
+// at each hop distance: roughly meanObjects · meanDegree^h items.
+func autoLevelBits(g *graph.Graph, store *content.Store, levels int, fpr float64) []int {
+	meanObjs := 0.0
+	for u := 0; u < store.N(); u++ {
+		meanObjs += float64(len(store.NodeObjects(u)))
+	}
+	if store.N() > 0 {
+		meanObjs /= float64(store.N())
+	}
+	if meanObjs < 1 {
+		meanObjs = 1
+	}
+	deg := g.MeanDegree()
+	if deg < 2 {
+		deg = 2
+	}
+	sizes := make([]int, levels)
+	reach := 1.0
+	for h := 0; h < levels; h++ {
+		expected := int(meanObjs * reach)
+		if expected < 8 {
+			expected = 8
+		}
+		ref := bloom.NewOptimal(expected, fpr)
+		sizes[h] = nextPow2(ref.Bits())
+		reach *= deg
+		if reach > float64(g.N()) {
+			reach = float64(g.N())
+		}
+	}
+	return sizes
+}
+
+func nextPow2(x int) int {
+	p := 64
+	for p < x {
+		p <<= 1
+	}
+	return p
+}
+
+// Filter returns node u's published hierarchy (for tests/inspection).
+func (n *ABFNetwork) Filter(u int) *bloom.Attenuated { return n.filters[u] }
+
+// MemoryBytes returns the total filter footprint, the figure the
+// paper's feasibility argument rests on.
+func (n *ABFNetwork) MemoryBytes() int64 {
+	var total int64
+	for _, f := range n.filters {
+		total += int64(f.MemoryBits() / 8)
+	}
+	return total
+}
+
+// ABFRouter performs identifier lookups over an ABFNetwork. Not safe
+// for concurrent use; create one per worker.
+type ABFRouter struct {
+	net     *ABFNetwork
+	epoch   int32
+	visited []int32
+	path    []int32 // current route, for backtracking
+}
+
+// NewABFRouter creates a router over net.
+func NewABFRouter(net *ABFNetwork) *ABFRouter {
+	return &ABFRouter{net: net, visited: make([]int32, net.g.N())}
+}
+
+// Lookup routes a query for identifier obj from src with a hop budget
+// of ttl. At every node the router scores each unvisited neighbor by
+// the potential function over the neighbor's published hierarchy —
+// shallow matches dominate (§4.6) — and forwards to the best. When no
+// neighbor's filter matches, it explores a random unvisited neighbor;
+// when stuck, it backtracks (both cost a message, as they would on the
+// wire). Success means reaching a node whose store holds obj.
+func (r *ABFRouter) Lookup(src int, obj uint64, ttl int, rng *rand.Rand) Result {
+	r.epoch++
+	ep := r.epoch
+	res := Result{FirstMatchHop: -1}
+	res.Visited = 1
+	r.visited[src] = ep
+	if r.net.store.Has(src, obj) {
+		res.Success = true
+		res.FirstMatchHop = 0
+		res.MatchesFound = 1
+		return res
+	}
+	r.path = append(r.path[:0], int32(src))
+	cur := src
+	hops := 0
+	for res.Messages < ttl {
+		next := r.pickNext(cur, obj, rng)
+		if next < 0 {
+			// Dead end: backtrack one hop if possible.
+			if len(r.path) <= 1 {
+				return res // nowhere left to go
+			}
+			r.path = r.path[:len(r.path)-1]
+			cur = int(r.path[len(r.path)-1])
+			res.Messages++
+			hops++
+			continue
+		}
+		res.Messages++
+		hops++
+		r.visited[next] = ep
+		res.Visited++
+		r.path = append(r.path, int32(next))
+		cur = next
+		if r.net.store.Has(cur, obj) {
+			res.Success = true
+			res.FirstMatchHop = hops
+			res.MatchesFound = 1
+			return res
+		}
+	}
+	return res
+}
+
+// pickNext scores unvisited neighbors of u and returns the best, a
+// random unvisited one when no filter matches, or -1 at a dead end.
+func (r *ABFRouter) pickNext(u int, obj uint64, rng *rand.Rand) int {
+	best := -1
+	bestScore := 0.0
+	nUnvisited := 0
+	var fallback int = -1
+	for _, v := range r.net.g.Neighbors(u) {
+		if r.visited[v] == r.epoch {
+			continue
+		}
+		nUnvisited++
+		// Reservoir-sample a uniform fallback candidate.
+		if rng.Intn(nUnvisited) == 0 {
+			fallback = int(v)
+		}
+		s := r.net.filters[v].Score(obj, r.net.cfg.Decay)
+		if s > bestScore {
+			bestScore = s
+			best = int(v)
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return fallback
+}

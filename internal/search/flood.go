@@ -1,0 +1,135 @@
+// Package search implements every search mechanism the paper
+// evaluates (§4): TTL-controlled flooding with query-ID duplicate
+// suppression, the Gnutella v0.6 two-tier flooding with QRP leaf
+// tables, k-walker random walks, expanding-ring TTL selection, and
+// attenuated-Bloom-filter identifier routing.
+package search
+
+import "makalu/internal/graph"
+
+// Result describes one query execution, whatever the mechanism.
+type Result struct {
+	Messages      int  // transmissions on overlay links
+	Duplicates    int  // messages that arrived at an already-visited node
+	Visited       int  // distinct nodes reached (including the source)
+	Success       bool // at least one matching node reached
+	FirstMatchHop int  // hop count of the first match; -1 when none
+	MatchesFound  int  // matching nodes reached
+	// FirstMatchLatency is the accumulated link latency along the
+	// flood tree to the first match — the query's one-way response
+	// time on the physical network. Zero unless the graph carries
+	// edge weights and the query succeeded beyond the source.
+	FirstMatchLatency float64
+}
+
+// Matcher decides whether a node satisfies the query. Implementations
+// are usually closures over a content.Store.
+type Matcher func(node int) bool
+
+// Flooder runs TTL floods over a frozen graph, reusing visit-epoch
+// scratch between queries so large batches stay allocation-free.
+// It is not safe for concurrent use; create one Flooder per worker.
+type Flooder struct {
+	g       *graph.Graph
+	epoch   int32
+	visited []int32   // epoch when node was first reached
+	hop     []int32   // hop at which node was first reached
+	parent  []int32   // node the query arrived from
+	lat     []float64 // accumulated latency along the flood tree
+	queue   []int32
+}
+
+// NewFlooder creates a Flooder for g.
+func NewFlooder(g *graph.Graph) *Flooder {
+	n := g.N()
+	f := &Flooder{
+		g:       g,
+		visited: make([]int32, n),
+		hop:     make([]int32, n),
+		parent:  make([]int32, n),
+		queue:   make([]int32, 0, 1024),
+	}
+	if g.Weights != nil {
+		f.lat = make([]float64, n)
+	}
+	return f
+}
+
+// Flood issues a query from src with the given TTL and returns its
+// Result. Semantics follow Gnutella flooding: the source checks its
+// own store, then sends the query to every neighbor; a node receiving
+// the query for the first time checks its store and, while TTL
+// remains, forwards to every neighbor except the one it came from.
+// Re-received queries are recognized by their cached query ID, counted
+// as duplicates, and suppressed.
+func (f *Flooder) Flood(src, ttl int, match Matcher) Result {
+	f.epoch++
+	ep := f.epoch
+	res := Result{FirstMatchHop: -1}
+
+	f.visited[src] = ep
+	f.hop[src] = 0
+	f.parent[src] = -1
+	if f.lat != nil {
+		f.lat[src] = 0
+	}
+	res.Visited = 1
+	if match(src) {
+		res.Success = true
+		res.FirstMatchHop = 0
+		res.MatchesFound++
+	}
+	if ttl <= 0 {
+		return res
+	}
+
+	queue := f.queue[:0]
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		hu := f.hop[u]
+		if int(hu) >= ttl {
+			continue // TTL exhausted: do not forward
+		}
+		pu := f.parent[u]
+		for i := f.g.Offsets[u]; i < f.g.Offsets[u+1]; i++ {
+			v := f.g.Edges[i]
+			if v == pu {
+				continue // never echo back to the sender
+			}
+			res.Messages++
+			if f.visited[v] == ep {
+				res.Duplicates++
+				continue
+			}
+			f.visited[v] = ep
+			f.hop[v] = hu + 1
+			f.parent[v] = u
+			if f.lat != nil {
+				f.lat[v] = f.lat[u] + f.g.Weights[i]
+			}
+			res.Visited++
+			if match(int(v)) {
+				res.MatchesFound++
+				if !res.Success {
+					res.Success = true
+					res.FirstMatchHop = int(hu + 1)
+					if f.lat != nil {
+						res.FirstMatchLatency = f.lat[v]
+					}
+				}
+			}
+			queue = append(queue, v)
+		}
+	}
+	f.queue = queue
+	return res
+}
+
+// Coverage returns how many distinct nodes a TTL-bounded flood from
+// src reaches, without any matching; used by the convergence-boundary
+// analysis of §4.4.
+func (f *Flooder) Coverage(src, ttl int) int {
+	r := f.Flood(src, ttl, func(int) bool { return false })
+	return r.Visited
+}

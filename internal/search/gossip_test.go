@@ -1,0 +1,127 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"makalu/internal/content"
+	"makalu/internal/topology"
+)
+
+func TestGossipDegeneratesToFloodAtP1(t *testing.T) {
+	g := cycle(20)
+	gf := NewGossipFlooder(g)
+	fl := NewFlooder(g)
+	cfg := GossipConfig{BoundaryHops: 0, Probability: 1}
+	rng := rand.New(rand.NewSource(1))
+	for ttl := 0; ttl <= 6; ttl++ {
+		a := gf.Flood(0, ttl, cfg, noMatch, rng)
+		b := fl.Flood(0, ttl, noMatch)
+		if a != b {
+			t.Fatalf("ttl %d: gossip@p=1 %+v != flood %+v", ttl, a, b)
+		}
+	}
+}
+
+func TestGossipInvalidProbabilityClamps(t *testing.T) {
+	g := cycle(10)
+	gf := NewGossipFlooder(g)
+	rng := rand.New(rand.NewSource(2))
+	a := gf.Flood(0, 3, GossipConfig{BoundaryHops: 0, Probability: -1}, noMatch, rng)
+	b := NewFlooder(g).Flood(0, 3, noMatch)
+	if a != b {
+		t.Fatalf("invalid p should clamp to 1: %+v vs %+v", a, b)
+	}
+}
+
+func TestGossipMatchAtSourceAndZeroTTL(t *testing.T) {
+	g := cycle(10)
+	gf := NewGossipFlooder(g)
+	rng := rand.New(rand.NewSource(3))
+	r := gf.Flood(4, 0, DefaultGossipConfig(), func(u int) bool { return u == 4 }, rng)
+	if !r.Success || r.FirstMatchHop != 0 || r.Messages != 0 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestGossipReducesDuplicatesPastBoundary(t *testing.T) {
+	// On a dense expander flooded past its convergence boundary,
+	// gossip at p=0.5 must cut duplicates while keeping most coverage.
+	gm, err := topology.KRegular(2000, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gm.Freeze(nil)
+	st, err := content.Place(2000, content.PlacementConfig{Objects: 10, Replication: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewFlooder(g)
+	gf := NewGossipFlooder(g)
+	cfg := GossipConfig{BoundaryHops: 2, Probability: 0.5}
+	rng := rand.New(rand.NewSource(6))
+	flood := NewAggregate()
+	gossip := NewAggregate()
+	for q := 0; q < 100; q++ {
+		obj := st.RandomObject(rng)
+		src := rng.Intn(2000)
+		match := func(u int) bool { return st.Has(u, obj) }
+		flood.Add(fl.Flood(src, 4, match))
+		gossip.Add(gf.Flood(src, 4, cfg, match, rng))
+	}
+	if gossip.TotalDuplicates >= flood.TotalDuplicates/2 {
+		t.Fatalf("gossip duplicates %d should be well below flood's %d",
+			gossip.TotalDuplicates, flood.TotalDuplicates)
+	}
+	if gossip.MeanMessages() >= flood.MeanMessages() {
+		t.Fatal("gossip should send fewer messages")
+	}
+	if gossip.SuccessRate() < 0.9*flood.SuccessRate() {
+		t.Fatalf("gossip success %.2f lost too much vs flood %.2f",
+			gossip.SuccessRate(), flood.SuccessRate())
+	}
+}
+
+func TestGossipEpochReuse(t *testing.T) {
+	g := cycle(30)
+	gf := NewGossipFlooder(g)
+	cfg := GossipConfig{BoundaryHops: 10, Probability: 1} // deterministic
+	rng := rand.New(rand.NewSource(7))
+	first := gf.Flood(0, 5, cfg, noMatch, rng)
+	for i := 0; i < 40; i++ {
+		gf.Flood(i%30, 5, cfg, noMatch, rng)
+	}
+	again := gf.Flood(0, 5, cfg, noMatch, rng)
+	if first != again {
+		t.Fatalf("state leaked: %+v vs %+v", first, again)
+	}
+}
+
+func TestConvergenceBoundary(t *testing.T) {
+	// Path: half the nodes are within n/2 hops of an endpoint.
+	g := path(21)
+	if b := ConvergenceBoundary(g, 0); b < 8 || b > 12 {
+		t.Fatalf("path boundary from end = %d, want ≈ 10", b)
+	}
+	// Expander: boundary ≈ half the diameter, which is ~log n.
+	gm, err := topology.KRegular(1000, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := gm.Freeze(nil)
+	b := ConvergenceBoundary(f, 0)
+	diam := f.HopDiameter()
+	if b < 1 || b > diam {
+		t.Fatalf("boundary %d outside (0, diameter %d]", b, diam)
+	}
+	if b > (diam+2)/2+1 {
+		t.Fatalf("expander boundary %d should be ≈ half the diameter %d", b, diam)
+	}
+}
+
+func TestConvergenceBoundaryTinyGraph(t *testing.T) {
+	g := path(2)
+	if b := ConvergenceBoundary(g, 0); b < 0 || b > 1 {
+		t.Fatalf("boundary on K2 = %d", b)
+	}
+}

@@ -1,0 +1,157 @@
+package search
+
+import (
+	"math/rand"
+
+	"makalu/internal/graph"
+)
+
+// WalkConfig parameterizes the k-walker random-walk search of Lv et
+// al., the related-work baseline the paper discusses (§6): k walkers
+// leave the source, each taking up to MaxSteps steps, checking every
+// visited node; walkers coordinate with the source every
+// CheckInterval steps and stop once the query is resolved.
+type WalkConfig struct {
+	Walkers       int // parallel walkers (k)
+	MaxSteps      int // per-walker step budget (TTL analogue)
+	CheckInterval int // steps between success checks with the source
+}
+
+// DefaultWalkConfig mirrors the common 16-walker, check-every-4 setup.
+func DefaultWalkConfig() WalkConfig {
+	return WalkConfig{Walkers: 16, MaxSteps: 1024, CheckInterval: 4}
+}
+
+// DegreeBiasedWalk is the high-degree-seeking search of Adamic et al.
+// that §6 discusses: a single walker always moves to the
+// highest-degree unvisited neighbor (falling back to random when all
+// are visited), checking every node it passes. It exploits power-law
+// hubs — and concentrates query load on them, which is the burden the
+// paper's related-work section calls out. Messages count one per
+// step; the walk gives up after maxSteps.
+func DegreeBiasedWalk(g *graph.Graph, src, maxSteps int, match Matcher, rng *rand.Rand) Result {
+	res := Result{FirstMatchHop: -1}
+	res.Visited = 1
+	if match(src) {
+		res.Success = true
+		res.FirstMatchHop = 0
+		res.MatchesFound = 1
+		return res
+	}
+	visited := map[int32]bool{int32(src): true}
+	cur := src
+	for step := 1; step <= maxSteps; step++ {
+		nb := g.Neighbors(cur)
+		if len(nb) == 0 {
+			return res
+		}
+		next := int32(-1)
+		bestDeg := -1
+		for _, v := range nb {
+			if visited[v] {
+				continue
+			}
+			if d := g.Degree(int(v)); d > bestDeg {
+				bestDeg = d
+				next = v
+			}
+		}
+		if next == -1 {
+			// All neighbors visited: take a uniformly random step so
+			// the walk can escape local saturation.
+			next = nb[rng.Intn(len(nb))]
+		}
+		cur = int(next)
+		res.Messages++
+		if !visited[next] {
+			visited[next] = true
+			res.Visited++
+		}
+		if match(cur) {
+			res.Success = true
+			res.FirstMatchHop = step
+			res.MatchesFound = 1
+			return res
+		}
+	}
+	return res
+}
+
+// RandomWalk runs a k-walker search for a match from src. Each step
+// moves a walker to a uniformly random neighbor, avoiding an
+// immediate U-turn when the node has another choice. Messages count
+// one per step. Walkers run in lockstep rounds; when a walker
+// succeeds, the others keep walking until their next checkpoint, as
+// the checking protocol implies.
+func RandomWalk(g *graph.Graph, src int, cfg WalkConfig, match Matcher, rng *rand.Rand) Result {
+	res := Result{FirstMatchHop: -1}
+	if cfg.Walkers <= 0 || cfg.MaxSteps <= 0 {
+		return res
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 4
+	}
+	res.Visited = 1
+	if match(src) {
+		res.Success = true
+		res.FirstMatchHop = 0
+		res.MatchesFound = 1
+		return res
+	}
+	type walker struct {
+		at, prev int32
+		alive    bool
+	}
+	ws := make([]walker, cfg.Walkers)
+	for i := range ws {
+		ws[i] = walker{at: int32(src), prev: -1, alive: true}
+	}
+	seen := make(map[int32]bool, cfg.Walkers*8)
+	seen[int32(src)] = true
+	stopAt := -1 // round at which all walkers stop (set at success checkpoint)
+	for step := 1; step <= cfg.MaxSteps; step++ {
+		if stopAt >= 0 && step > stopAt {
+			break
+		}
+		anyAlive := false
+		for i := range ws {
+			w := &ws[i]
+			if !w.alive {
+				continue
+			}
+			nb := g.Neighbors(int(w.at))
+			if len(nb) == 0 {
+				w.alive = false
+				continue
+			}
+			next := nb[rng.Intn(len(nb))]
+			if next == w.prev && len(nb) > 1 {
+				// avoid the immediate U-turn; one retry keeps the walk
+				// uniform enough without biasing long loops
+				next = nb[rng.Intn(len(nb))]
+			}
+			w.prev = w.at
+			w.at = next
+			res.Messages++
+			anyAlive = true
+			if !seen[next] {
+				seen[next] = true
+				res.Visited++
+			}
+			if match(int(next)) {
+				res.MatchesFound++
+				w.alive = false // this walker is done
+				if !res.Success {
+					res.Success = true
+					res.FirstMatchHop = step
+					// Everyone else stops at the next checkpoint.
+					stopAt = step + (cfg.CheckInterval - step%cfg.CheckInterval)
+				}
+			}
+		}
+		if !anyAlive {
+			break
+		}
+	}
+	return res
+}

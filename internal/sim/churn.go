@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"makalu/internal/content"
+	"makalu/internal/core"
+	"makalu/internal/search"
+)
+
+// ChurnConfig drives a node churn process over a Makalu overlay:
+// every alive node departs after an exponentially distributed session
+// time and rejoins after an exponentially distributed downtime, while
+// the overlay runs periodic management rounds — the environment the
+// paper argues k-regular constructions cannot survive and Makalu can.
+type ChurnConfig struct {
+	Duration         float64 // simulated time to run
+	MeanSession      float64 // mean node uptime between departures
+	MeanDowntime     float64 // mean downtime before rejoin
+	ManageInterval   float64 // period of overlay management rounds
+	SnapshotInterval float64 // period of metric snapshots
+	Seed             int64
+
+	// SearchProbes, when positive, measures live search quality: each
+	// snapshot issues this many TTL-SearchTTL floods from random alive
+	// sources against SearchStore and records the success rate. Dead
+	// replicas naturally reduce effective replication, so this is the
+	// paper's fault-tolerance story measured as user experience.
+	SearchProbes int
+	SearchTTL    int
+	SearchStore  *content.Store
+}
+
+// DefaultChurnConfig runs 100 time units with sessions averaging 50,
+// downtimes 10, management every 5 and snapshots every 10.
+func DefaultChurnConfig(seed int64) ChurnConfig {
+	return ChurnConfig{
+		Duration:         100,
+		MeanSession:      50,
+		MeanDowntime:     10,
+		ManageInterval:   5,
+		SnapshotInterval: 10,
+		Seed:             seed,
+	}
+}
+
+// Snapshot is one sample of overlay health during churn.
+type Snapshot struct {
+	Time          float64
+	Live          int     // alive nodes
+	Components    int     // connected components among alive nodes
+	GiantFraction float64 // largest component size / alive nodes
+	MeanDegree    float64 // mean degree over alive nodes
+	SearchSuccess float64 // flood success rate (-1 when probing is off)
+}
+
+// ChurnResult is the outcome of a churn run.
+type ChurnResult struct {
+	Timeline   []Snapshot
+	Departures int
+	Rejoins    int
+}
+
+// RunChurn executes the churn process on the overlay and returns the
+// health timeline. The overlay is mutated in place.
+func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
+	if cfg.Duration <= 0 || cfg.MeanSession <= 0 || cfg.MeanDowntime <= 0 {
+		return nil, fmt.Errorf("sim: churn durations must be positive: %+v", cfg)
+	}
+	if cfg.ManageInterval <= 0 {
+		cfg.ManageInterval = cfg.Duration / 20
+	}
+	if cfg.SnapshotInterval <= 0 {
+		cfg.SnapshotInterval = cfg.Duration / 10
+	}
+	eng := &Engine{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &ChurnResult{}
+
+	var scheduleDeparture func(u int)
+	scheduleDeparture = func(u int) {
+		eng.Schedule(rng.ExpFloat64()*cfg.MeanSession, func() {
+			if !o.Alive(u) {
+				return
+			}
+			o.FailNodes([]int{u})
+			res.Departures++
+			eng.Schedule(rng.ExpFloat64()*cfg.MeanDowntime, func() {
+				if o.Revive(u) {
+					res.Rejoins++
+					scheduleDeparture(u)
+				}
+			})
+		})
+	}
+	for u := 0; u < o.N(); u++ {
+		if o.Alive(u) {
+			scheduleDeparture(u)
+		}
+	}
+
+	var manage func()
+	manage = func() {
+		o.ManageRound()
+		if eng.Now()+cfg.ManageInterval <= cfg.Duration {
+			eng.Schedule(cfg.ManageInterval, manage)
+		}
+	}
+	eng.Schedule(cfg.ManageInterval, manage)
+
+	if cfg.SearchProbes > 0 && cfg.SearchStore == nil {
+		return nil, fmt.Errorf("sim: SearchProbes needs a SearchStore")
+	}
+	if cfg.SearchTTL <= 0 {
+		cfg.SearchTTL = 4
+	}
+	probeRng := rand.New(rand.NewSource(cfg.Seed + 7))
+	snapshot := func() {
+		snap := takeSnapshot(o, eng.Now())
+		snap.SearchSuccess = -1
+		if cfg.SearchProbes > 0 {
+			snap.SearchSuccess = measureSearch(o, cfg.SearchStore, cfg.SearchProbes, cfg.SearchTTL, probeRng)
+		}
+		res.Timeline = append(res.Timeline, snap)
+	}
+	var snapLoop func()
+	snapLoop = func() {
+		snapshot()
+		if eng.Now()+cfg.SnapshotInterval <= cfg.Duration {
+			eng.Schedule(cfg.SnapshotInterval, snapLoop)
+		}
+	}
+	eng.Schedule(cfg.SnapshotInterval, snapLoop)
+
+	eng.RunUntil(cfg.Duration)
+	snapshot() // final state
+	return res, nil
+}
+
+// measureSearch floods from random alive sources for random objects,
+// matching only ALIVE replicas (dead hosts cannot answer), and
+// returns the success rate.
+func measureSearch(o *core.Overlay, store *content.Store, probes, ttl int, rng *rand.Rand) float64 {
+	g := o.Freeze() // dead nodes are isolated, so floods skip them
+	fl := search.NewFlooder(g)
+	found := 0
+	for q := 0; q < probes; q++ {
+		src := -1
+		for tries := 0; tries < 100; tries++ {
+			c := rng.Intn(o.N())
+			if o.Alive(c) {
+				src = c
+				break
+			}
+		}
+		if src < 0 {
+			continue
+		}
+		obj := store.RandomObject(rng)
+		r := fl.Flood(src, ttl, func(u int) bool { return o.Alive(u) && store.Has(u, obj) })
+		if r.Success {
+			found++
+		}
+	}
+	return float64(found) / float64(probes)
+}
+
+func takeSnapshot(o *core.Overlay, t float64) Snapshot {
+	sub, _ := o.FreezeAlive()
+	_, sizes := sub.Components()
+	giant := 0
+	for _, s := range sizes {
+		if s > giant {
+			giant = s
+		}
+	}
+	snap := Snapshot{
+		Time:       t,
+		Live:       o.LiveCount(),
+		Components: len(sizes),
+		MeanDegree: o.MeanDegree(),
+	}
+	if sub.N() > 0 {
+		snap.GiantFraction = float64(giant) / float64(sub.N())
+	}
+	return snap
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"makalu/internal/content"
+)
+
+func TestChurnSearchProbesValidation(t *testing.T) {
+	o := buildOverlay(t, 100, 61)
+	cfg := DefaultChurnConfig(62)
+	cfg.SearchProbes = 10 // no store
+	if _, err := RunChurn(o, cfg); err == nil {
+		t.Fatal("probes without a store should fail")
+	}
+}
+
+func TestSearchSuccessDisabledByDefault(t *testing.T) {
+	o := buildOverlay(t, 150, 63)
+	res, err := RunChurn(o, DefaultChurnConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Timeline {
+		if s.SearchSuccess != -1 {
+			t.Fatalf("probing off but SearchSuccess = %v", s.SearchSuccess)
+		}
+	}
+}
+
+func TestSearchQualitySurvivesChurn(t *testing.T) {
+	n := 400
+	o := buildOverlay(t, n, 65)
+	store, err := content.Place(n, content.PlacementConfig{
+		Objects: 20, Replication: 0.03, Seed: 66,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultChurnConfig(67)
+	cfg.SearchProbes = 40
+	cfg.SearchTTL = 4
+	cfg.SearchStore = store
+	res, err := RunChurn(o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departures == 0 {
+		t.Fatal("no churn")
+	}
+	for _, s := range res.Timeline {
+		if s.SearchSuccess < 0 {
+			t.Fatal("probing on but success not recorded")
+		}
+		// With ~20% of nodes down at any instant, effective
+		// replication drops from 3% to ~2.4%; a TTL-4 flood on a
+		// 400-node overlay still resolves nearly everything. The
+		// paper's claim is that churn does not break search.
+		if s.SearchSuccess < 0.85 {
+			t.Fatalf("t=%.1f: search success %.2f collapsed under churn",
+				s.Time, s.SearchSuccess)
+		}
+	}
+}
+
+func TestMeasureSearchMatchesOnlyAliveReplicas(t *testing.T) {
+	n := 60
+	o := buildOverlay(t, n, 68)
+	store, err := content.Place(n, content.PlacementConfig{
+		Objects: 1, Replication: 0, MinReplicas: 1, Seed: 69,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := store.Objects()[0]
+	host := int(store.Replicas(obj)[0])
+	// Kill the only replica: success must be zero.
+	o.FailNodes([]int{host})
+	rng := rand.New(rand.NewSource(70))
+	if got := measureSearch(o, store, 30, 6, rng); got != 0 {
+		t.Fatalf("dead replica still found: %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+// Package sim provides the discrete-event simulation engine the
+// dynamic experiments run on: a deterministic event queue plus a node
+// churn process that exercises the Makalu overlay's join, failure and
+// recovery paths over simulated time (§2.2 dynamics, §3.4 failures).
+package sim
+
+import "container/heap"
+
+// Engine is a deterministic discrete-event scheduler. Events fire in
+// time order; ties break by scheduling order. The zero value is ready
+// to use.
+type Engine struct {
+	pq  eventHeap
+	now float64
+	seq uint64
+	ran uint64
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	do  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Executed returns the number of events run so far.
+func (e *Engine) Executed() uint64 { return e.ran }
+
+// Pending returns the number of scheduled events not yet run.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule runs fn after the given delay of simulated time. Negative
+// delays are clamped to zero (run "now", after already queued events
+// at the current instant).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute simulated time t; times in the past
+// fire at the current instant.
+func (e *Engine) ScheduleAt(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	heap.Push(&e.pq, event{at: t, seq: e.seq, do: fn})
+	e.seq++
+}
+
+// Step runs the next event, returning false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	e.ran++
+	ev.do()
+	return true
+}
+
+// RunUntil executes events with timestamps <= t, then advances the
+// clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Run drains the event queue completely. Self-perpetuating processes
+// must use RunUntil to terminate.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"makalu/internal/core"
+	"makalu/internal/netmodel"
+)
+
+func TestCostModelAccounting(t *testing.T) {
+	c := &CostModel{}
+	c.Connect(1, 2)
+	c.Disconnect(1, 2)
+	c.ViewExchange(1, 2, 10)
+	c.WalkProbe(1, 2)
+	if c.Messages() != 4 {
+		t.Fatalf("messages = %d, want 4", c.Messages())
+	}
+	want := int64(connectBytes + disconnectBytes + viewHeaderBytes + 10*viewEntryBytes + walkProbeBytes)
+	if c.Bytes() != want {
+		t.Fatalf("bytes = %d, want %d", c.Bytes(), want)
+	}
+	if !strings.Contains(c.Report(5), "per node") {
+		t.Fatal("report malformed")
+	}
+	c.Reset()
+	if c.Messages() != 0 || c.Bytes() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestMaintenanceTrafficOfBuild(t *testing.T) {
+	n := 400
+	net := netmodel.NewEuclidean(n, 1000, 1)
+	cost := &CostModel{}
+	cfg := core.DefaultConfig(net, 1)
+	cfg.Tracer = cost
+	o, err := core.Build(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving edge took one handshake, and pruned edges too.
+	if cost.Connects < int64(o.Graph().M()) {
+		t.Fatalf("connects %d below final edge count %d", cost.Connects, o.Graph().M())
+	}
+	// Joins are O(n · capacity): maintenance must not blow up
+	// quadratically. Allow a generous constant.
+	if cost.Messages() > int64(n)*400 {
+		t.Fatalf("maintenance messages %d not O(n·deg)", cost.Messages())
+	}
+	if cost.Bytes() <= 0 {
+		t.Fatal("no bytes accounted")
+	}
+	perNode := float64(cost.Bytes()) / float64(n)
+	// Sanity band: a node should spend kilobytes, not megabytes, to
+	// join and settle — the paper's "no global coordination" claim.
+	if perNode > 512*1024 {
+		t.Fatalf("join cost %.0f bytes/node is megabyte-scale", perNode)
+	}
+}
+
+func TestMaintenanceTrafficUnderChurn(t *testing.T) {
+	n := 300
+	net := netmodel.NewEuclidean(n, 1000, 2)
+	cost := &CostModel{}
+	cfg := core.DefaultConfig(net, 2)
+	cfg.Tracer = cost
+	o, err := core.Build(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost.Reset() // measure steady-state churn only
+	res, err := RunChurn(o, DefaultChurnConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departures == 0 {
+		t.Fatal("no churn happened")
+	}
+	if cost.Messages() == 0 {
+		t.Fatal("churn maintenance not traced")
+	}
+	// Per-rejoin cost should be bounded: a rejoining node dials ~its
+	// capacity worth of peers, plus periodic view pushes.
+	perEvent := float64(cost.Messages()) / float64(res.Departures+res.Rejoins+1)
+	if perEvent > 5000 {
+		t.Fatalf("%.0f maintenance messages per churn event — repair is not local", perEvent)
+	}
+}
+
+func TestTracerNilIsSafe(t *testing.T) {
+	// Default build path with no tracer must not panic anywhere.
+	n := 150
+	net := netmodel.NewEuclidean(n, 1000, 4)
+	o, err := core.Build(n, core.DefaultConfig(net, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.FailTopDegree(10)
+	o.Recover(1)
+}

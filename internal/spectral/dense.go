@@ -1,0 +1,175 @@
+// Package spectral implements the spectral graph analysis of §3.3–3.4:
+// Laplacian and normalized-Laplacian eigenvalue spectra (dense
+// Householder tridiagonalization + implicit-shift QL) and a sparse
+// Lanczos estimator for the algebraic connectivity λ₁ of large
+// overlays. Everything is stdlib-only and deterministic.
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigenvalues returns all eigenvalues of the dense symmetric n×n
+// matrix a (row-major), in ascending order. The input slice is
+// consumed as scratch and left in an unspecified state. Complexity is
+// O(n³); intended for matrices up to a few thousand rows.
+func SymEigenvalues(a []float64, n int) ([]float64, error) {
+	if len(a) != n*n {
+		return nil, fmt.Errorf("spectral: matrix needs %d entries, got %d", n*n, len(a))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	d, e := tridiagonalize(a, n)
+	if err := tridiagEigen(d, e); err != nil {
+		return nil, err
+	}
+	sort.Float64s(d)
+	return d, nil
+}
+
+// tridiagonalize reduces the symmetric matrix a (row-major n×n, which
+// it destroys) to tridiagonal form via Householder similarity
+// transforms, returning the diagonal d and subdiagonal e
+// (e[i] couples d[i] and d[i+1]; e[n-1] is zero).
+func tridiagonalize(a []float64, n int) (d, e []float64) {
+	d = make([]float64, n)
+	e = make([]float64, n)
+	if n == 1 {
+		d[0] = a[0]
+		return d, e
+	}
+	v := make([]float64, n)
+	p := make([]float64, n)
+	for i := 0; i < n-2; i++ {
+		m := n - i - 1 // size of the trailing block below row i
+		// Column segment x = a[i+1..n-1][i].
+		norm2 := 0.0
+		for k := 0; k < m; k++ {
+			x := a[(i+1+k)*n+i]
+			v[k] = x
+			norm2 += x * x
+		}
+		norm := math.Sqrt(norm2)
+		if norm == 0 {
+			e[i] = 0
+			continue
+		}
+		alpha := -norm
+		if v[0] < 0 {
+			alpha = norm
+		}
+		// v = x - alpha*e1, normalized.
+		v[0] -= alpha
+		vn2 := 0.0
+		for k := 0; k < m; k++ {
+			vn2 += v[k] * v[k]
+		}
+		if vn2 == 0 {
+			e[i] = alpha
+			continue
+		}
+		inv := 1 / math.Sqrt(vn2)
+		for k := 0; k < m; k++ {
+			v[k] *= inv
+		}
+		// p = A_sub * v over the trailing (m×m) block.
+		for r := 0; r < m; r++ {
+			sum := 0.0
+			row := (i + 1 + r) * n
+			for k := 0; k < m; k++ {
+				sum += a[row+i+1+k] * v[k]
+			}
+			p[r] = sum
+		}
+		beta := 0.0
+		for k := 0; k < m; k++ {
+			beta += v[k] * p[k]
+		}
+		// q = p - beta*v ; A_sub -= 2 v qᵀ + 2 q vᵀ.
+		for k := 0; k < m; k++ {
+			p[k] -= beta * v[k]
+		}
+		for r := 0; r < m; r++ {
+			row := (i + 1 + r) * n
+			vr, qr := v[r], p[r]
+			for k := 0; k < m; k++ {
+				a[row+i+1+k] -= 2 * (vr*p[k] + qr*v[k])
+			}
+		}
+		// Column i now reduces to a single subdiagonal entry alpha.
+		e[i] = alpha
+	}
+	e[n-2] = a[(n-1)*n+n-2]
+	for i := 0; i < n; i++ {
+		d[i] = a[i*n+i]
+	}
+	return d, e
+}
+
+// tridiagEigen computes, in place, the eigenvalues of the symmetric
+// tridiagonal matrix with diagonal d and subdiagonal e (e[i] couples
+// rows i and i+1; e[len-1] ignored) using the implicit-shift QL
+// algorithm. On return d holds the (unsorted) eigenvalues.
+func tridiagEigen(d, e []float64) error {
+	n := len(d)
+	if n == 0 {
+		return nil
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= machEps*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 50 {
+				return fmt.Errorf("spectral: QL failed to converge at row %d", l)
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			i := m - 1
+			for ; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+			}
+			if r == 0 && i >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// machEps is the relative tolerance used for off-diagonal negligibility.
+const machEps = 2.3e-16

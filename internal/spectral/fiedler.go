@@ -1,0 +1,126 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"makalu/internal/graph"
+)
+
+// FiedlerVector computes the eigenvector of the combinatorial
+// Laplacian belonging to λ₁ (the Fiedler vector) by inverse iteration
+// on the deflated Laplacian: repeatedly solve L·x = b restricted to
+// the subspace orthogonal to the constant vector, using conjugate
+// gradients (L is positive semidefinite with nullspace = span{1} on a
+// connected graph). The sign structure of the result locates the
+// overlay's sparsest cut — the diagnostic behind a low λ₁ in E2.
+//
+// The graph must be connected; on a disconnected graph CG stalls and
+// an error is returned.
+func FiedlerVector(g *graph.Graph, iters int, seed int64) ([]float64, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("spectral: Fiedler vector needs >= 2 nodes")
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("spectral: Fiedler vector requires a connected graph")
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ones := 1 / math.Sqrt(float64(n))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	deflate(x, ones)
+	if nrm := norm(x); nrm == 0 {
+		return nil, fmt.Errorf("spectral: degenerate start vector")
+	} else {
+		scale(x, 1/nrm)
+	}
+	b := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		copy(b, x)
+		sol, err := cgSolveLaplacian(g, b, ones, 200, 1e-10)
+		if err != nil {
+			return nil, err
+		}
+		deflate(sol, ones)
+		nrm := norm(sol)
+		if nrm == 0 {
+			return nil, fmt.Errorf("spectral: inverse iteration collapsed")
+		}
+		scale(sol, 1/nrm)
+		copy(x, sol)
+	}
+	return x, nil
+}
+
+// cgSolveLaplacian solves L·x = b by conjugate gradients in the
+// subspace orthogonal to the constant vector (entry value `ones`),
+// where L is g's combinatorial Laplacian. b must already be deflated.
+func cgSolveLaplacian(g *graph.Graph, b []float64, ones float64, maxIter int, tol float64) ([]float64, error) {
+	n := g.N()
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b)
+	p := make([]float64, n)
+	copy(p, r)
+	ap := make([]float64, n)
+	rs := dot(r, r)
+	if math.Sqrt(rs) < tol {
+		return x, nil
+	}
+	for it := 0; it < maxIter; it++ {
+		lapMatVec(g, p, ap)
+		deflate(ap, ones)
+		den := dot(p, ap)
+		if den <= 0 {
+			// L restricted to 1-perp is positive definite on a
+			// connected graph; a non-positive curvature means the
+			// graph is disconnected (or numerics collapsed).
+			return nil, fmt.Errorf("spectral: CG breakdown (disconnected graph?)")
+		}
+		alpha := rs / den
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		if math.Sqrt(rsNew) < tol {
+			return x, nil
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return x, nil // best effort after maxIter; inverse iteration tolerates it
+}
+
+// SpectralBisection partitions a connected graph by the sign of its
+// Fiedler vector and returns the node mask of the non-negative side
+// together with the number of edges crossing the cut. On overlays
+// with a thin-cut cluster, the smaller side IS that cluster.
+func SpectralBisection(g *graph.Graph, seed int64) (side []bool, cutEdges int, err error) {
+	v, err := FiedlerVector(g, 30, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	side = make([]bool, g.N())
+	for i, x := range v {
+		side[i] = x >= 0
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.Neighbors(u) {
+			if int(w) > u && side[u] != side[w] {
+				cutEdges++
+			}
+		}
+	}
+	return side, cutEdges, nil
+}

@@ -1,0 +1,122 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"makalu/internal/graph"
+)
+
+func TestFiedlerVectorPathIsMonotone(t *testing.T) {
+	// The path graph's Fiedler vector is cos(π(i+0.5)/n): strictly
+	// monotone along the path.
+	n := 24
+	v, err := FiedlerVector(pathGraph(n), 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orient so it increases.
+	if v[0] > v[n-1] {
+		for i := range v {
+			v[i] = -v[i]
+		}
+	}
+	for i := 1; i < n; i++ {
+		if v[i] <= v[i-1] {
+			t.Fatalf("path Fiedler vector not monotone at %d: %v <= %v", i, v[i], v[i-1])
+		}
+	}
+	// Rayleigh quotient must approximate λ₁ = 2 - 2cos(π/n).
+	want := 2 - 2*math.Cos(math.Pi/float64(n))
+	if got := rayleigh(pathGraph(n), v); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Rayleigh quotient %v, want %v", got, want)
+	}
+}
+
+func rayleigh(g *graph.Graph, v []float64) float64 {
+	lv := make([]float64, len(v))
+	lapMatVec(g, v, lv)
+	return dot(v, lv) / dot(v, v)
+}
+
+func TestFiedlerVectorOrthogonalToOnes(t *testing.T) {
+	v, err := FiedlerVector(cycleGraph(30), 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(sum) > 1e-8 {
+		t.Fatalf("Fiedler vector not orthogonal to 1: sum = %v", sum)
+	}
+	if math.Abs(norm(v)-1) > 1e-9 {
+		t.Fatalf("Fiedler vector not normalized: %v", norm(v))
+	}
+}
+
+func TestFiedlerVectorValidation(t *testing.T) {
+	if _, err := FiedlerVector(pathGraph(1), 10, 1); err == nil {
+		t.Fatal("single node accepted")
+	}
+	g := graph.NewMutable(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if _, err := FiedlerVector(g.Freeze(nil), 10, 1); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestSpectralBisectionFindsBridge(t *testing.T) {
+	// Two K6 cliques joined by a single bridge edge: the sparsest cut
+	// is that bridge, and bisection must recover it exactly.
+	g := graph.NewMutable(12)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			g.AddEdge(i, j)
+			g.AddEdge(6+i, 6+j)
+		}
+	}
+	g.AddEdge(0, 6)
+	side, cut, err := SpectralBisection(g.Freeze(nil), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Fatalf("cut = %d edges, want 1 (the bridge)", cut)
+	}
+	// Each clique must land entirely on one side.
+	for i := 1; i < 6; i++ {
+		if side[i] != side[0] {
+			t.Fatal("first clique split across sides")
+		}
+		if side[6+i] != side[6] {
+			t.Fatal("second clique split across sides")
+		}
+	}
+	if side[0] == side[6] {
+		t.Fatal("cliques not separated")
+	}
+}
+
+func TestSpectralBisectionBalancedOnCycle(t *testing.T) {
+	// A cycle's Fiedler cut is two edges splitting it into two arcs of
+	// near-equal length.
+	side, cut, err := SpectralBisection(cycleGraph(40), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 2 {
+		t.Fatalf("cycle cut = %d edges, want 2", cut)
+	}
+	count := 0
+	for _, s := range side {
+		if s {
+			count++
+		}
+	}
+	if count < 15 || count > 25 {
+		t.Fatalf("unbalanced bisection: %d vs %d", count, 40-count)
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a closed interval. Samples
+// outside [Lo, Hi] are clamped into the first or last bin so that
+// total counts are preserved.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []uint64
+	total  uint64
+}
+
+// NewHistogram returns a histogram with bins equal-width bins over
+// [lo, hi]. It panics when bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// CDF returns, for each bin boundary, the fraction of samples at or
+// below it. The returned slice has len(Counts) entries and is
+// monotonically nondecreasing, ending at 1 when any samples exist.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		out[i] = float64(cum) / float64(h.total)
+	}
+	return out
+}
+
+// String renders a compact ASCII bar chart, one bin per line.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := uint64(1)
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", int(40*float64(c)/float64(maxC)))
+		fmt.Fprintf(&b, "%10.3f %8d %s\n", h.BinCenter(i), c, bar)
+	}
+	return b.String()
+}
+
+// Counter tallies integer-valued observations (hop counts, message
+// counts) without pre-declared bins.
+type Counter struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[int]uint64)} }
+
+// Add records one observation of value v.
+func (c *Counter) Add(v int) { c.counts[v]++; c.total++ }
+
+// AddN records n observations of value v.
+func (c *Counter) AddN(v int, n uint64) { c.counts[v] += n; c.total += n }
+
+// Total returns the number of observations.
+func (c *Counter) Total() uint64 { return c.total }
+
+// Count returns the tally of value v.
+func (c *Counter) Count(v int) uint64 { return c.counts[v] }
+
+// Mean returns the mean observation value.
+func (c *Counter) Mean() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, n := range c.counts {
+		sum += float64(v) * float64(n)
+	}
+	return sum / float64(c.total)
+}
+
+// Values returns the distinct observed values in ascending order.
+func (c *Counter) Values() []int {
+	vs := make([]int, 0, len(c.counts))
+	for v := range c.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Quantile returns the smallest value v such that at least fraction q
+// of the observations are <= v. It returns 0 for an empty counter.
+func (c *Counter) Quantile(q float64) int {
+	if c.total == 0 {
+		return 0
+	}
+	need := uint64(math.Ceil(q * float64(c.total)))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for _, v := range c.Values() {
+		cum += c.counts[v]
+		if cum >= need {
+			return v
+		}
+	}
+	vs := c.Values()
+	return vs[len(vs)-1]
+}

@@ -1,0 +1,203 @@
+// Package stats provides the summary statistics used by every Makalu
+// experiment: means, variances, percentiles, confidence intervals,
+// histograms and least-squares fits. All functions are deterministic
+// and allocation-conscious so they can run inside benchmark loops.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 in the
+// denominator), or 0 when fewer than two samples are present.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	min := math.Inf(1)
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest element of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It copies and sorts the
+// input; use SortedPercentile when xs is already sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return SortedPercentile(sorted, p)
+}
+
+// SortedPercentile is Percentile for an already ascending-sorted slice.
+func SortedPercentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := lo + 1
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// MeanCI returns the mean of xs together with the half-width of a 95%
+// normal-approximation confidence interval. For fewer than two samples
+// the half-width is 0.
+func MeanCI(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	se := StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, 1.96 * se
+}
+
+// Summary bundles the descriptive statistics of one metric.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    sorted[0],
+		P25:    SortedPercentile(sorted, 25),
+		Median: SortedPercentile(sorted, 50),
+		P75:    SortedPercentile(sorted, 75),
+		P95:    SortedPercentile(sorted, 95),
+		P99:    SortedPercentile(sorted, 99),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x.
+// It is used to estimate scaling exponents from log-log series
+// (Figure 2). Both slices must have equal, nonzero length.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	n := float64(len(x))
+	if len(x) == 0 || len(x) != len(y) {
+		return math.NaN(), math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// LogLogSlope fits log(y) against log(x) and returns the slope: the
+// scaling exponent. Points with non-positive coordinates are skipped.
+func LogLogSlope(x, y []float64) float64 {
+	lx := make([]float64, 0, len(x))
+	ly := make([]float64, 0, len(y))
+	for i := range x {
+		if i < len(y) && x[i] > 0 && y[i] > 0 {
+			lx = append(lx, math.Log(x[i]))
+			ly = append(ly, math.Log(y[i]))
+		}
+	}
+	slope, _ := LinearFit(lx, ly)
+	return slope
+}

@@ -1,0 +1,363 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestMeanSimple(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1: sum of squared deviations = 32, / 7.
+	if got := Variance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestVarianceFewSamples(t *testing.T) {
+	if got := Variance([]float64{5}); got != 0 {
+		t.Fatalf("Variance of one sample = %v, want 0", got)
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		return StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v, want -1/7", Min(xs), Max(xs))
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("Min/Max of empty slice should be +/-Inf")
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("P0 = %v, want 10", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("P100 = %v, want 40", got)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Fatalf("P50 = %v, want 5", got)
+	}
+	if got := Percentile(xs, 25); got != 2.5 {
+		t.Fatalf("P25 = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{5, 1, 9}); got != 5 {
+		t.Fatalf("odd median = %v, want 5", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 100)
+		v := Percentile(xs, p)
+		return v >= Min(xs) && v <= Max(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, hw := MeanCI([]float64{1, 1, 1, 1})
+	if mean != 1 || hw != 0 {
+		t.Fatalf("constant samples: mean=%v hw=%v, want 1, 0", mean, hw)
+	}
+	_, hw = MeanCI([]float64{0, 10, 0, 10})
+	if hw <= 0 {
+		t.Fatal("varying samples should have positive CI half-width")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.N != 101 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("Summary n/min/max = %d/%v/%v", s.N, s.Min, s.Max)
+	}
+	if !almostEq(s.Median, 50, 1e-9) || !almostEq(s.P95, 95, 1e-9) {
+		t.Fatalf("Summary median/p95 = %v/%v", s.Median, s.P95)
+	}
+	if s.String() == "" {
+		t.Fatal("Summary.String should not be empty")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary N = %d", s.N)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinearFit(x, y)
+	if !almostEq(slope, 2, 1e-12) || !almostEq(intercept, 1, 1e-12) {
+		t.Fatalf("fit = %v, %v; want 2, 1", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	slope, _ := LinearFit([]float64{1, 1}, []float64{2, 3})
+	if !math.IsNaN(slope) {
+		t.Fatalf("vertical data should give NaN slope, got %v", slope)
+	}
+	slope, _ = LinearFit(nil, nil)
+	if !math.IsNaN(slope) {
+		t.Fatal("empty fit should give NaN slope")
+	}
+}
+
+func TestLogLogSlopePowerLaw(t *testing.T) {
+	// y = 4 * x^0.8
+	var x, y []float64
+	for _, v := range []float64{10, 100, 1000, 10000} {
+		x = append(x, v)
+		y = append(y, 4*math.Pow(v, 0.8))
+	}
+	if got := LogLogSlope(x, y); !almostEq(got, 0.8, 1e-9) {
+		t.Fatalf("LogLogSlope = %v, want 0.8", got)
+	}
+}
+
+func TestLogLogSlopeSkipsNonPositive(t *testing.T) {
+	x := []float64{-1, 10, 100}
+	y := []float64{5, 10, 100}
+	if got := LogLogSlope(x, y); !almostEq(got, 1, 1e-9) {
+		t.Fatalf("LogLogSlope = %v, want 1", got)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count = %d, want 1", i, c)
+		}
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(99)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(2.5)
+	h.Add(3.5)
+	cdf := h.CDF()
+	want := []float64{0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEq(cdf[i], want[i], 1e-12) {
+			t.Fatalf("CDF[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+}
+
+func TestHistogramCDFEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	for _, v := range h.CDF() {
+		if v != 0 {
+			t.Fatal("empty histogram CDF should be all zero")
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(0.25)
+	if h.String() == "" {
+		t.Fatal("String should render bins")
+	}
+}
+
+func TestCounterBasic(t *testing.T) {
+	c := NewCounter()
+	c.Add(3)
+	c.Add(3)
+	c.Add(5)
+	if c.Total() != 3 || c.Count(3) != 2 || c.Count(5) != 1 || c.Count(7) != 0 {
+		t.Fatalf("counter state wrong: total=%d", c.Total())
+	}
+	if got := c.Mean(); !almostEq(got, 11.0/3.0, 1e-12) {
+		t.Fatalf("Mean = %v", got)
+	}
+	vs := c.Values()
+	if len(vs) != 2 || vs[0] != 3 || vs[1] != 5 {
+		t.Fatalf("Values = %v", vs)
+	}
+}
+
+func TestCounterAddN(t *testing.T) {
+	c := NewCounter()
+	c.AddN(2, 10)
+	if c.Total() != 10 || c.Count(2) != 10 {
+		t.Fatal("AddN miscounted")
+	}
+}
+
+func TestCounterQuantile(t *testing.T) {
+	c := NewCounter()
+	for i := 1; i <= 100; i++ {
+		c.Add(i)
+	}
+	if got := c.Quantile(0.5); got != 50 {
+		t.Fatalf("Q50 = %d, want 50", got)
+	}
+	if got := c.Quantile(0.95); got != 95 {
+		t.Fatalf("Q95 = %d, want 95", got)
+	}
+	if got := c.Quantile(1.0); got != 100 {
+		t.Fatalf("Q100 = %d, want 100", got)
+	}
+}
+
+func TestCounterQuantileEmpty(t *testing.T) {
+	if got := NewCounter().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+}
+
+func TestCounterMeanEmpty(t *testing.T) {
+	if got := NewCounter().Mean(); got != 0 {
+		t.Fatalf("empty mean = %v", got)
+	}
+}
+
+func TestMeanCIShrinksWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small := make([]float64, 10)
+	large := make([]float64, 1000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range large {
+		large[i] = rng.NormFloat64()
+	}
+	_, hwSmall := MeanCI(small)
+	_, hwLarge := MeanCI(large)
+	if hwLarge >= hwSmall {
+		t.Fatalf("CI should shrink with more samples: %v vs %v", hwSmall, hwLarge)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		c := NewCounter()
+		for _, v := range vals {
+			c.Add(int(v))
+		}
+		if c.Total() == 0 {
+			return true
+		}
+		prev := c.Quantile(0.01)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			cur := c.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"makalu/internal/graph"
+)
+
+// KRegular generates a k-regular random (simple) graph on n nodes with
+// the pairing/configuration model plus double-edge-swap repair, in the
+// spirit of the Kim–Vu generator the paper uses: pair random half-edge
+// stubs, then fix the handful of self-loops and duplicate pairs by
+// swapping them against random existing edges. n*k must be even and
+// k < n. The result is a uniform-ish k-regular graph, which the paper
+// treats as the theoretically optimal expander baseline.
+func KRegular(n, k int, seed int64) (*graph.Mutable, error) {
+	if k < 0 || n < 0 {
+		return nil, fmt.Errorf("topology: negative parameters n=%d k=%d", n, k)
+	}
+	if k >= n && n > 0 {
+		return nil, fmt.Errorf("topology: k=%d must be < n=%d", k, n)
+	}
+	if n*k%2 == 1 {
+		return nil, fmt.Errorf("topology: n*k must be even, got n=%d k=%d", n, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	const maxRestarts = 50
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		g, ok := tryPairing(n, k, rng)
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: failed to build %d-regular graph on %d nodes", k, n)
+}
+
+// tryPairing makes one pairing attempt followed by swap repair.
+func tryPairing(n, k int, rng *rand.Rand) (*graph.Mutable, bool) {
+	stubs := make([]int32, 0, n*k)
+	for u := 0; u < n; u++ {
+		for i := 0; i < k; i++ {
+			stubs = append(stubs, int32(u))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	g := graph.NewMutable(n)
+	type pair struct{ u, v int32 }
+	var conflicts []pair
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || !g.AddEdge(int(u), int(v)) {
+			conflicts = append(conflicts, pair{u, v})
+		}
+	}
+
+	// Repair each conflicted stub pair with a double-edge swap: pick a
+	// random existing edge (x, y) and replace it with (u, x), (v, y)
+	// when both are insertable. This preserves all degrees.
+	for _, c := range conflicts {
+		fixed := false
+		for try := 0; try < 200 && !fixed; try++ {
+			es := g.M()
+			if es == 0 {
+				break
+			}
+			// Pick a random edge by picking a random endpoint weighted
+			// by degree: choose random stub owner then random neighbor.
+			x := int32(rng.Intn(n))
+			nb := g.Neighbors(int(x))
+			if len(nb) == 0 {
+				continue
+			}
+			y := nb[rng.Intn(len(nb))]
+			u, v := c.u, c.v
+			if x == u || x == v || y == u || y == v {
+				continue
+			}
+			if g.HasEdge(int(u), int(x)) || g.HasEdge(int(v), int(y)) {
+				continue
+			}
+			g.RemoveEdge(int(x), int(y))
+			g.AddEdge(int(u), int(x))
+			g.AddEdge(int(v), int(y))
+			fixed = true
+		}
+		if !fixed {
+			return nil, false
+		}
+	}
+
+	// Verify regularity; a failed repair chain would break it.
+	for u := 0; u < n; u++ {
+		if g.Degree(u) != k {
+			return nil, false
+		}
+	}
+	return g, true
+}

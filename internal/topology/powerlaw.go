@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+
+	"makalu/internal/graph"
+)
+
+// PowerLawConfig parameterizes the Gnutella v0.4 style power-law
+// topology. Defaults follow the measurement studies the paper cites
+// (Saroiu et al., Ripeanu et al.): degree exponent ≈ 2.3 with a short
+// minimum degree and a cutoff around sqrt(n).
+type PowerLawConfig struct {
+	Exponent  float64 // power-law exponent tau (> 1)
+	MinDegree int     // smallest node degree
+	MaxDegree int     // largest node degree; 0 means ~2*sqrt(n)
+	Connect   bool    // patch components together afterwards
+	Seed      int64
+}
+
+// DefaultPowerLaw returns the Gnutella v0.4 parameters used throughout
+// the paper's comparisons.
+func DefaultPowerLaw() PowerLawConfig {
+	return PowerLawConfig{Exponent: 2.3, MinDegree: 1, Connect: true, Seed: 1}
+}
+
+// PowerLaw builds a power-law random graph on n nodes with the
+// configuration model: degrees are drawn from a discrete power law,
+// half-edge stubs are shuffled and paired, and self-loops/duplicate
+// edges are discarded (which perturbs high degrees only slightly).
+// When cfg.Connect is set, stray components are patched into the
+// giant component with single random edges, matching how Gnutella
+// bootstrap servers keep the network nominally connected.
+func PowerLaw(n int, cfg PowerLawConfig) *graph.Mutable {
+	if cfg.Exponent <= 1 {
+		panic("topology: power-law exponent must be > 1")
+	}
+	if cfg.MinDegree < 1 {
+		panic("topology: power-law min degree must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	maxDeg := cfg.MaxDegree
+	if maxDeg == 0 {
+		maxDeg = int(2 * math.Sqrt(float64(n)))
+	}
+	if maxDeg >= n {
+		maxDeg = n - 1
+	}
+	if maxDeg < cfg.MinDegree {
+		maxDeg = cfg.MinDegree
+	}
+	degrees := samplePowerLawDegrees(rng, n, cfg.Exponent, cfg.MinDegree, maxDeg)
+
+	// Configuration model: one stub per degree unit.
+	total := 0
+	for _, d := range degrees {
+		total += d
+	}
+	if total%2 == 1 {
+		// Make the stub count even by bumping a random node.
+		degrees[rng.Intn(n)]++
+		total++
+	}
+	stubs := make([]int32, 0, total)
+	for u, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, int32(u))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	g := graph.NewMutable(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		g.AddEdge(int(stubs[i]), int(stubs[i+1])) // silently drops conflicts
+	}
+	if cfg.Connect {
+		EnsureConnected(g, rng)
+	}
+	return g
+}
+
+// samplePowerLawDegrees draws n degrees from P(k) proportional to
+// k^-tau over [min, max] by inverting the discrete CDF.
+func samplePowerLawDegrees(rng *rand.Rand, n int, tau float64, min, max int) []int {
+	weights := make([]float64, max-min+1)
+	cum := 0.0
+	for k := min; k <= max; k++ {
+		cum += math.Pow(float64(k), -tau)
+		weights[k-min] = cum
+	}
+	degrees := make([]int, n)
+	for i := range degrees {
+		r := rng.Float64() * cum
+		// Binary search the CDF.
+		lo, hi := 0, len(weights)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if weights[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		degrees[i] = min + lo
+	}
+	return degrees
+}

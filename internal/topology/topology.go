@@ -1,0 +1,92 @@
+// Package topology generates the baseline overlay topologies the
+// paper compares Makalu against (§3.1): the Gnutella v0.4 power-law
+// graph, the Gnutella v0.6 two-tier ultrapeer/leaf graph, the
+// k-regular random graph used as a theoretical optimum, and an
+// Erdős–Rényi control. Generator parameters default to the values the
+// paper extracts from published Gnutella measurement studies.
+package topology
+
+import (
+	"math/rand"
+
+	"makalu/internal/graph"
+)
+
+// EnsureConnected adds the minimum number of random inter-component
+// edges needed to make g a single connected component: every
+// non-giant component gets one edge from a random member to a random
+// member of the component accumulated so far. It returns the number
+// of edges added. Configuration-model generators use it so that path
+// and search experiments are not dominated by stray fragments.
+func EnsureConnected(g *graph.Mutable, rng *rand.Rand) int {
+	frozen := g.Freeze(nil)
+	labels, sizes := frozen.Components()
+	if len(sizes) <= 1 {
+		return 0
+	}
+	// Collect the members of each component.
+	members := make([][]int32, len(sizes))
+	for i := range members {
+		members[i] = make([]int32, 0, sizes[i])
+	}
+	for u, l := range labels {
+		members[l] = append(members[l], int32(u))
+	}
+	// Attach every other component to the largest one (or, on edge
+	// rejection because the chosen pair is already linked, retry with
+	// a different pair).
+	giant := 0
+	for i, s := range sizes {
+		if s > sizes[giant] {
+			giant = i
+		}
+	}
+	added := 0
+	attached := members[giant]
+	for i := range members {
+		if i == giant {
+			continue
+		}
+		for {
+			u := int(members[i][rng.Intn(len(members[i]))])
+			v := int(attached[rng.Intn(len(attached))])
+			if g.AddEdge(u, v) {
+				added++
+				break
+			}
+		}
+		attached = append(attached, members[i]...)
+	}
+	return added
+}
+
+// sampleDistinct fills out with k distinct values drawn uniformly from
+// [0, n) excluding the values in taboo. It panics if k exceeds the
+// number of eligible values. The taboo set is expected to be tiny
+// (existing neighbor lists), so membership is a linear scan.
+func sampleDistinct(rng *rand.Rand, n, k int, taboo []int32, out []int32) []int32 {
+	out = out[:0]
+	for len(out) < k {
+		c := int32(rng.Intn(n))
+		dup := false
+		for _, t := range taboo {
+			if t == c {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		for _, t := range out {
+			if t == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"math/rand"
+
+	"makalu/internal/graph"
+)
+
+// TwoTierConfig parameterizes the modern Gnutella v0.6 ultrapeer/leaf
+// topology. Defaults follow Stutzbach et al. and Rasti et al. as
+// cited by the paper: roughly 15% of peers are ultrapeers, ultrapeers
+// hold ~30 connections to other ultrapeers, and each leaf attaches to
+// ~3 ultrapeers.
+type TwoTierConfig struct {
+	UltraFraction float64 // fraction of nodes promoted to ultrapeer
+	UltraDegree   int     // target ultrapeer-to-ultrapeer connections
+	// LeafDegree is the MEAN number of ultrapeers each leaf attaches
+	// to. Crawl studies report a spread down to a single connection,
+	// so per-leaf degrees are drawn uniformly from [1, 2*LeafDegree-1]
+	// — which is also what gives the two-tier topology its measured
+	// near-1 algebraic connectivity (pendant leaves bound λ₁ ≤ 1).
+	LeafDegree int
+	Seed       int64
+}
+
+// DefaultTwoTier returns the Gnutella v0.6 parameters used in the
+// paper's comparisons.
+func DefaultTwoTier() TwoTierConfig {
+	return TwoTierConfig{UltraFraction: 0.15, UltraDegree: 30, LeafDegree: 3, Seed: 1}
+}
+
+// TwoTier is a generated two-tier topology: the overlay graph plus
+// the role of every node, which the v0.6 flooding search needs (leaves
+// do not forward queries).
+type TwoTier struct {
+	Graph      *graph.Mutable
+	IsUltra    []bool
+	Ultras     []int32 // node ids of the ultrapeers
+	LeafCount  int
+	UltraCount int
+}
+
+// NewTwoTier builds a two-tier overlay on n nodes. Ultrapeers are the
+// first ceil(n*UltraFraction) node ids (callers that need randomized
+// role placement can permute ids); they form an approximately
+// UltraDegree-regular random graph, and every leaf picks LeafDegree
+// distinct random ultrapeers. The ultrapeer core is patched to a
+// single component.
+func NewTwoTier(n int, cfg TwoTierConfig) *TwoTier {
+	if cfg.UltraFraction <= 0 || cfg.UltraFraction > 1 {
+		panic("topology: ultra fraction must be in (0, 1]")
+	}
+	if cfg.UltraDegree < 1 || cfg.LeafDegree < 1 {
+		panic("topology: degrees must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numUltra := int(float64(n)*cfg.UltraFraction + 0.999999)
+	if numUltra < 1 {
+		numUltra = 1
+	}
+	if numUltra > n {
+		numUltra = n
+	}
+	tt := &TwoTier{
+		Graph:      graph.NewMutable(n),
+		IsUltra:    make([]bool, n),
+		Ultras:     make([]int32, numUltra),
+		UltraCount: numUltra,
+		LeafCount:  n - numUltra,
+	}
+	for i := 0; i < numUltra; i++ {
+		tt.IsUltra[i] = true
+		tt.Ultras[i] = int32(i)
+	}
+
+	// Ultrapeer core: each ultrapeer initiates connections to random
+	// ultrapeers until it reaches the target degree or runs out of
+	// candidates. Real ultrapeers do the same: keep dialing peers from
+	// their host cache until their slot budget is full.
+	ultraDeg := cfg.UltraDegree
+	if ultraDeg >= numUltra {
+		ultraDeg = numUltra - 1
+	}
+	if ultraDeg > 0 {
+		for u := 0; u < numUltra; u++ {
+			attempts := 0
+			for tt.Graph.Degree(u) < ultraDeg && attempts < 20*ultraDeg {
+				v := rng.Intn(numUltra)
+				if v != u {
+					tt.Graph.AddEdge(u, v)
+				}
+				attempts++
+			}
+		}
+		// Patch the core into one component before attaching leaves.
+		connectWithin(tt.Graph, numUltra, rng)
+	}
+
+	// Leaves attach to a variable number of distinct ultrapeers:
+	// uniform in [1, 2*LeafDegree-1], mean LeafDegree.
+	maxLeafDeg := 2*cfg.LeafDegree - 1
+	scratch := make([]int32, 0, maxLeafDeg)
+	for leaf := numUltra; leaf < n; leaf++ {
+		leafDeg := 1 + rng.Intn(maxLeafDeg)
+		if leafDeg > numUltra {
+			leafDeg = numUltra
+		}
+		scratch = sampleDistinct(rng, numUltra, leafDeg, nil, scratch)
+		for _, up := range scratch {
+			tt.Graph.AddEdge(leaf, int(up))
+		}
+	}
+	return tt
+}
+
+// connectWithin patches components among nodes [0, limit) into one,
+// leaving nodes >= limit untouched. Used for the ultrapeer core.
+func connectWithin(g *graph.Mutable, limit int, rng *rand.Rand) {
+	if limit <= 1 {
+		return
+	}
+	// BFS over the first `limit` nodes only.
+	label := make([]int32, limit)
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []int32
+	var compReps []int32
+	for s := 0; s < limit; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		id := int32(len(compReps))
+		compReps = append(compReps, int32(s))
+		label[s] = id
+		queue = append(queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(int(u)) {
+				if int(v) < limit && label[v] == -1 {
+					label[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	for i := 1; i < len(compReps); i++ {
+		g.AddEdge(int(compReps[0]), int(compReps[i]))
+	}
+}

@@ -1,0 +1,595 @@
+package peer
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// Capacity is the maximum neighbor count; the rating function
+	// prunes beyond it.
+	Capacity int
+	// Alpha and Beta weight connectivity and proximity, as in the
+	// simulator. Defaults 1 and 1.
+	Alpha, Beta float64
+	// ManageInterval is the period of the management loop (neighbor
+	// pushes, pings, pruning). Default 200ms — fast, suited to tests;
+	// a deployment would use tens of seconds.
+	ManageInterval time.Duration
+	// Seed drives the node's local randomness.
+	Seed int64
+}
+
+// DefaultNodeConfig returns a small-capacity test-friendly config.
+func DefaultNodeConfig(capacity int, seed int64) Config {
+	return Config{Capacity: capacity, Alpha: 1, Beta: 1, ManageInterval: 200 * time.Millisecond, Seed: seed}
+}
+
+// Hit is one query result delivered to the originator.
+type Hit struct {
+	QueryID uint64
+	Object  uint64
+	Holder  string // listen address of the node hosting the object
+}
+
+// Node is a live Makalu peer speaking the wire protocol over TCP.
+type Node struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	conns   map[string]*link    // by remote listen address
+	cache   map[string]bool     // host cache: every peer address ever learned
+	views   map[string][]string // last neighbor list pushed by each peer
+	rtt     map[string]float64  // measured RTT seconds
+	pingT   map[uint64]pingRef  // outstanding ping nonces
+	store   map[uint64]bool     // hosted objects
+	seen    map[uint64]bool     // query-id duplicate suppression
+	seenQ   []uint64            // FIFO for seen eviction
+	queries uint64              // queries forwarded (stats)
+	closed  bool
+
+	hits chan Hit
+	abf  *abfState // attenuated-filter routing state (§4.6)
+	rng  *rand.Rand
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+type pingRef struct {
+	addr string
+	at   time.Time
+}
+
+// link is one established neighbor connection.
+type link struct {
+	addr string // remote listen address (its identity)
+	c    net.Conn
+	w    *bufio.Writer
+	wmu  sync.Mutex
+	born time.Time // registration time, for the pruning grace period
+}
+
+func (l *link) send(kind byte, payload []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	l.c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	return writeFrame(l.w, kind, payload)
+}
+
+// Start launches a node listening on addr (use "127.0.0.1:0" for an
+// ephemeral test port).
+func Start(addr string, cfg Config) (*Node, error) {
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("peer: capacity must be >= 1")
+	}
+	if cfg.Alpha == 0 && cfg.Beta == 0 {
+		cfg.Alpha, cfg.Beta = 1, 1
+	}
+	if cfg.ManageInterval <= 0 {
+		cfg.ManageInterval = 200 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:   cfg,
+		ln:    ln,
+		conns: make(map[string]*link),
+		cache: make(map[string]bool),
+		views: make(map[string][]string),
+		rtt:   make(map[string]float64),
+		pingT: make(map[uint64]pingRef),
+		store: make(map[uint64]bool),
+		seen:  make(map[uint64]bool),
+		hits:  make(chan Hit, 256),
+		abf:   newABFState(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		stop:  make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.manageLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address (its identity on the wire).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Hits returns the channel on which query results arrive.
+func (n *Node) Hits() <-chan Hit { return n.hits }
+
+// AddObject stores an object locally.
+func (n *Node) AddObject(obj uint64) {
+	n.mu.Lock()
+	n.store[obj] = true
+	n.mu.Unlock()
+}
+
+// Neighbors returns the current neighbor addresses, sorted.
+func (n *Node) Neighbors() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.conns))
+	for a := range n.conns {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Degree returns the current neighbor count.
+func (n *Node) Degree() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.conns)
+}
+
+// Close shuts the node down, sending Bye to every neighbor.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.conns))
+	for _, l := range n.conns {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	close(n.stop)
+	for _, l := range links {
+		l.send(msgBye, nil)
+		l.c.Close()
+	}
+	n.ln.Close()
+	n.wg.Wait()
+}
+
+// acceptLoop handles inbound connections.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handleInbound(c)
+		}()
+	}
+}
+
+// handleInbound performs the accept side of the handshake, then reads
+// frames until the connection dies.
+func (n *Node) handleInbound(c net.Conn) {
+	r := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := readFrame(r)
+	if err != nil || f.kind != msgHello {
+		c.Close()
+		return
+	}
+	hello, err := decodeHello(f.payload)
+	if err != nil || hello.Addr == "" {
+		c.Close()
+		return
+	}
+	if hello.Addr == transientAddr {
+		// One-shot hit delivery: read the single hit frame, surface
+		// it, and close without registering a neighbor.
+		if hf, err := readFrame(r); err == nil && hf.kind == msgQueryHit {
+			if h, err := decodeHit(hf.payload); err == nil {
+				select {
+				case n.hits <- Hit{QueryID: h.QueryID, Object: h.Object, Holder: h.Holder}:
+				default:
+				}
+			}
+		}
+		c.Close()
+		return
+	}
+	l := &link{addr: hello.Addr, c: c, w: bufio.NewWriter(c)}
+	if err := l.send(msgHelloAck, nil); err != nil {
+		c.Close()
+		return
+	}
+	if !n.register(l) {
+		c.Close()
+		return
+	}
+	n.afterConnect(l)
+	n.readLoop(l, r)
+}
+
+// Connect dials a peer at addr, performs the handshake and registers
+// the link. Connecting to a known neighbor or to ourselves is a no-op.
+func (n *Node) Connect(addr string) error {
+	if addr == n.Addr() {
+		return fmt.Errorf("peer: refusing self-connection")
+	}
+	n.mu.Lock()
+	_, known := n.conns[addr]
+	n.mu.Unlock()
+	if known {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	l := &link{addr: addr, c: c, w: bufio.NewWriter(c)}
+	if err := l.send(msgHello, encodeHello(helloPayload{Addr: n.Addr()})); err != nil {
+		c.Close()
+		return err
+	}
+	r := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := readFrame(r)
+	if err != nil || f.kind != msgHelloAck {
+		c.Close()
+		return fmt.Errorf("peer: handshake with %s failed", addr)
+	}
+	if !n.register(l) {
+		c.Close()
+		return nil
+	}
+	n.afterConnect(l)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(l, r)
+	}()
+	return nil
+}
+
+// register adds the link to the neighbor table. It returns false when
+// the node is closed or the peer is already connected (simultaneous
+// dials race; the loser is dropped).
+func (n *Node) register(l *link) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	if _, dup := n.conns[l.addr]; dup {
+		return false
+	}
+	l.born = time.Now()
+	n.conns[l.addr] = l
+	n.cache[l.addr] = true
+	return true
+}
+
+// afterConnect pushes our neighbor list and a ping on the fresh link,
+// then prunes if we are over capacity.
+func (n *Node) afterConnect(l *link) {
+	l.send(msgNeighbors, encodeNeighbors(neighborsPayload{Addrs: n.Neighbors()}))
+	n.sendPing(l)
+	n.pruneIfNeeded()
+}
+
+// readLoop dispatches inbound frames for one link until it dies.
+func (n *Node) readLoop(l *link, r *bufio.Reader) {
+	defer n.dropLink(l)
+	for {
+		l.c.SetReadDeadline(time.Now().Add(30 * time.Second))
+		f, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		switch f.kind {
+		case msgNeighbors:
+			if p, err := decodeNeighbors(f.payload); err == nil {
+				n.mu.Lock()
+				n.views[l.addr] = p.Addrs
+				for _, a := range p.Addrs {
+					if a != n.Addrlocked() {
+						n.cache[a] = true
+					}
+				}
+				n.mu.Unlock()
+			}
+		case msgQuery:
+			if q, err := decodeQuery(f.payload); err == nil {
+				n.handleQuery(q, l.addr)
+			}
+		case msgQueryHit:
+			if h, err := decodeHit(f.payload); err == nil {
+				select {
+				case n.hits <- Hit{QueryID: h.QueryID, Object: h.Object, Holder: h.Holder}:
+				default: // originator not draining; drop
+				}
+			}
+		case msgPing:
+			if p, err := decodePing(f.payload); err == nil {
+				l.send(msgPong, encodePing(p))
+			}
+		case msgPong:
+			if p, err := decodePing(f.payload); err == nil {
+				n.mu.Lock()
+				if ref, ok := n.pingT[p.Nonce]; ok && ref.addr == l.addr {
+					n.rtt[l.addr] = time.Since(ref.at).Seconds()
+					delete(n.pingT, p.Nonce)
+				}
+				n.mu.Unlock()
+			}
+		case msgFilterPush:
+			n.handleFilterPush(l.addr, f.payload)
+		case msgDirectedQuery:
+			if q, err := decodeDirectedQuery(f.payload); err == nil {
+				n.handleDirectedQuery(q)
+			}
+		case msgBye:
+			return
+		}
+	}
+}
+
+// dropLink removes a dead or pruned link from the tables.
+func (n *Node) dropLink(l *link) {
+	l.c.Close()
+	n.mu.Lock()
+	if cur, ok := n.conns[l.addr]; ok && cur == l {
+		delete(n.conns, l.addr)
+		delete(n.views, l.addr)
+		delete(n.rtt, l.addr)
+	}
+	n.mu.Unlock()
+}
+
+// sendPing issues a latency probe on the link.
+func (n *Node) sendPing(l *link) {
+	n.mu.Lock()
+	nonce := n.rng.Uint64()
+	n.pingT[nonce] = pingRef{addr: l.addr, at: time.Now()}
+	n.mu.Unlock()
+	l.send(msgPing, encodePing(pingPayload{Nonce: nonce}))
+}
+
+// manageLoop is the periodic management round: push neighbor lists,
+// refresh pings, prune over capacity.
+func (n *Node) manageLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.ManageInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			nb := encodeNeighbors(neighborsPayload{Addrs: n.Neighbors()})
+			n.mu.Lock()
+			links := make([]*link, 0, len(n.conns))
+			for _, l := range n.conns {
+				links = append(links, l)
+			}
+			n.mu.Unlock()
+			for _, l := range links {
+				l.send(msgNeighbors, nb)
+				n.sendPing(l)
+			}
+			n.refillFromCache()
+			n.pruneIfNeeded()
+			// §4.6 maintenance: refresh and push the attenuated
+			// filter hierarchy after the topology settles this round.
+			n.rebuildOwn()
+			n.pushFilters()
+		}
+	}
+}
+
+// refillFromCache dials host-cache candidates while the node is under
+// capacity — the self-healing a pruned or orphaned peer relies on.
+func (n *Node) refillFromCache() {
+	n.mu.Lock()
+	want := n.cfg.Capacity - len(n.conns)
+	var cands []string
+	if want > 0 {
+		for a := range n.cache {
+			if _, connected := n.conns[a]; !connected && a != n.Addrlocked() {
+				cands = append(cands, a)
+			}
+		}
+		n.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	}
+	n.mu.Unlock()
+	for _, a := range cands {
+		if want <= 0 {
+			return
+		}
+		if err := n.Connect(a); err == nil {
+			want--
+		} else {
+			// Unreachable: forget it so the cache stays live.
+			n.mu.Lock()
+			delete(n.cache, a)
+			n.mu.Unlock()
+		}
+	}
+}
+
+// pruneIfNeeded applies the Makalu rating function and disconnects
+// the lowest-rated neighbors while over capacity.
+func (n *Node) pruneIfNeeded() {
+	for {
+		victim := n.selectPruneVictim()
+		if victim == nil {
+			return
+		}
+		victim.send(msgBye, nil)
+		n.dropLink(victim)
+	}
+}
+
+// selectPruneVictim returns the lowest-rated link when over capacity.
+// Fresh links (younger than two management intervals) are protected:
+// they have not exchanged views or measured RTT yet, so their rating
+// would be spuriously zero and newcomers could never join a network
+// of full nodes. The grace is waived when the node is far over
+// capacity (a dial storm).
+func (n *Node) selectPruneVictim() *link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	over := len(n.conns) - n.cfg.Capacity
+	if over <= 0 {
+		return nil
+	}
+	grace := 2 * n.cfg.ManageInterval
+	now := time.Now()
+	scores := n.rateLocked()
+	pick := func(includeYoung bool) *link {
+		var worst *link
+		worstScore := 0.0
+		for addr, s := range scores {
+			l := n.conns[addr]
+			if !includeYoung && now.Sub(l.born) < grace {
+				continue
+			}
+			if worst == nil || s < worstScore {
+				worst = l
+				worstScore = s
+			}
+		}
+		return worst
+	}
+	if v := pick(false); v != nil {
+		return v
+	}
+	if over > 2 {
+		return pick(true) // dial storm: shed someone regardless
+	}
+	return nil // everyone is in grace; tolerate transient overrun
+}
+
+// rateLocked computes the rating of every neighbor from the exchanged
+// views and measured RTTs — exactly the simulator's F(u,v) with
+// normalized proximity. Callers hold n.mu.
+func (n *Node) rateLocked() map[string]float64 {
+	self := n.Addrlocked()
+	// Count, over all views, how many neighbors can reach each node.
+	reach := make(map[string]int)
+	for _, view := range n.views {
+		for _, a := range view {
+			if a == self {
+				continue
+			}
+			if _, isNeighbor := n.conns[a]; isNeighbor {
+				continue
+			}
+			reach[a]++
+		}
+	}
+	boundary := len(reach)
+	dmin := 0.0
+	for _, l := range n.conns {
+		if r, ok := n.rtt[l.addr]; ok && (dmin == 0 || r < dmin) {
+			dmin = r
+		}
+	}
+	scores := make(map[string]float64, len(n.conns))
+	for addr := range n.conns {
+		unique := 0
+		for _, a := range n.views[addr] {
+			if a == self {
+				continue
+			}
+			if _, isNeighbor := n.conns[a]; isNeighbor {
+				continue
+			}
+			if reach[a] == 1 {
+				unique++
+			}
+		}
+		score := 0.0
+		if boundary > 0 {
+			score += n.cfg.Alpha * float64(unique) / float64(boundary)
+		}
+		if r, ok := n.rtt[addr]; ok && r > 0 && dmin > 0 {
+			score += n.cfg.Beta * dmin / r
+		}
+		scores[addr] = score
+	}
+	return scores
+}
+
+// Addrlocked returns the listen address without locking (safe: the
+// listener address is immutable after Start).
+func (n *Node) Addrlocked() string { return n.ln.Addr().String() }
+
+// KnownPeers returns addresses learned from neighbor views that we
+// are not connected to — the host-cache candidates for Bootstrap.
+func (n *Node) KnownPeers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	self := n.Addrlocked()
+	seen := map[string]bool{}
+	var out []string
+	for _, view := range n.views {
+		for _, a := range view {
+			if a == self || seen[a] {
+				continue
+			}
+			if _, isNeighbor := n.conns[a]; isNeighbor {
+				continue
+			}
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bootstrap joins the network through a seed peer: connect to the
+// seed, wait for its neighbor push, then dial learned candidates
+// until the node reaches its capacity or runs out.
+func (n *Node) Bootstrap(seed string, settle time.Duration) error {
+	if err := n.Connect(seed); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(settle)
+	for time.Now().Before(deadline) {
+		if n.Degree() >= n.cfg.Capacity {
+			return nil
+		}
+		for _, cand := range n.KnownPeers() {
+			if n.Degree() >= n.cfg.Capacity {
+				break
+			}
+			n.Connect(cand)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil
+}

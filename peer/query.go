@@ -1,0 +1,155 @@
+package peer
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// seenCap bounds the query-ID cache; the oldest entries are evicted
+// FIFO, matching deployed Gnutella clients' bounded routing tables.
+const seenCap = 4096
+
+// Query floods a search for obj with the given TTL and returns the
+// query id. Results arrive asynchronously on Hits(); local store hits
+// are delivered immediately.
+func (n *Node) Query(obj uint64, ttl int) uint64 {
+	n.mu.Lock()
+	id := n.rng.Uint64()
+	n.markSeenLocked(id)
+	hasLocal := n.store[obj]
+	links := make([]*link, 0, len(n.conns))
+	for _, l := range n.conns {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	if hasLocal {
+		select {
+		case n.hits <- Hit{QueryID: id, Object: obj, Holder: n.Addr()}:
+		default:
+		}
+	}
+	if ttl <= 0 {
+		return id
+	}
+	payload := encodeQuery(queryPayload{
+		QueryID:    id,
+		TTL:        uint8(ttl),
+		Object:     obj,
+		Originator: n.Addr(),
+	})
+	for _, l := range links {
+		l.send(msgQuery, payload)
+	}
+	return id
+}
+
+// handleQuery processes a query received from neighbor `from`:
+// duplicate-suppress, check the local store (hit goes straight to the
+// originator), and forward to every other neighbor while TTL remains.
+func (n *Node) handleQuery(q queryPayload, from string) {
+	n.mu.Lock()
+	if n.seen[q.QueryID] {
+		n.mu.Unlock()
+		return
+	}
+	n.markSeenLocked(q.QueryID)
+	n.queries++
+	hasIt := n.store[q.Object]
+	var links []*link
+	if q.TTL > 1 {
+		links = make([]*link, 0, len(n.conns))
+		for addr, l := range n.conns {
+			if addr != from && addr != q.Originator {
+				links = append(links, l)
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	if hasIt {
+		// Deliver the hit straight to the originator on a transient
+		// connection, as Gnutella's out-of-band hit delivery does.
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.deliverHit(q.Originator, hitPayload{
+				QueryID: q.QueryID, Object: q.Object, Holder: n.Addr(),
+			})
+		}()
+	}
+	if q.TTL <= 1 {
+		return
+	}
+	fwd := encodeQuery(queryPayload{
+		QueryID:    q.QueryID,
+		TTL:        q.TTL - 1,
+		Object:     q.Object,
+		Originator: q.Originator,
+	})
+	for _, l := range links {
+		l.send(msgQuery, fwd)
+	}
+}
+
+// deliverHit opens a short-lived connection to the originator and
+// sends the hit frame. Failures are dropped silently (the originator
+// may have left).
+func (n *Node) deliverHit(addr string, h hitPayload) {
+	if addr == n.Addr() {
+		select {
+		case n.hits <- Hit{QueryID: h.QueryID, Object: h.Object, Holder: h.Holder}:
+		default:
+		}
+		return
+	}
+	// Prefer an existing link.
+	n.mu.Lock()
+	l, ok := n.conns[addr]
+	n.mu.Unlock()
+	if ok {
+		l.send(msgQueryHit, encodeHit(h))
+		return
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	n.oneShotHit(c, h)
+}
+
+// oneShotHit writes the hit on a raw connection using the transient
+// framing the accept path understands: a Hello carrying the reserved
+// transient address, followed by the hit frame, then close. No ack is
+// awaited.
+func (n *Node) oneShotHit(c net.Conn, h hitPayload) {
+	w := bufio.NewWriter(c)
+	c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	writeFrame(w, msgHello, encodeHello(helloPayload{Addr: transientAddr}))
+	writeFrame(w, msgQueryHit, encodeHit(h))
+}
+
+// transientAddr marks a connection that only delivers a hit and
+// closes; the accept path must not register it as a neighbor.
+const transientAddr = "!transient"
+
+// markSeenLocked records a query id with FIFO eviction. Callers hold
+// n.mu.
+func (n *Node) markSeenLocked(id uint64) {
+	if len(n.seenQ) >= seenCap {
+		old := n.seenQ[0]
+		n.seenQ = n.seenQ[1:]
+		delete(n.seen, old)
+	}
+	n.seen[id] = true
+	n.seenQ = append(n.seenQ, id)
+}
+
+// QueriesForwarded reports how many distinct queries this node has
+// processed (the per-node load metric of Table 2).
+func (n *Node) QueriesForwarded() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.queries
+}

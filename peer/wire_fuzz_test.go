@@ -1,0 +1,142 @@
+package peer
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"makalu/internal/bloom"
+)
+
+// Robustness property: no decoder may panic on arbitrary bytes — a
+// malicious peer controls every frame we read — and whatever decodes
+// successfully must re-encode to something that decodes identically.
+
+func TestDecodersNeverPanicProperty(t *testing.T) {
+	prop := func(junk []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		decodeHello(junk)
+		decodeNeighbors(junk)
+		decodeQuery(junk)
+		decodeHit(junk)
+		decodePing(junk)
+		decodeDirectedQuery(junk)
+		var f bloom.Filter
+		f.UnmarshalBinary(junk)
+		var a bloom.Attenuated
+		a.UnmarshalBinary(junk)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFrameNeverPanicsProperty(t *testing.T) {
+	prop := func(junk []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := bufio.NewReader(bytes.NewReader(junk))
+		for i := 0; i < 4; i++ {
+			if _, err := readFrame(r); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryCodecRoundTripProperty(t *testing.T) {
+	prop := func(id, obj uint64, ttl uint8, orig string) bool {
+		if len(orig) > 200 {
+			orig = orig[:200]
+		}
+		q := queryPayload{QueryID: id, TTL: ttl, Object: obj, Originator: orig}
+		got, err := decodeQuery(encodeQuery(q))
+		if err != nil {
+			return false
+		}
+		return got == q
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectedQueryCodecRoundTripProperty(t *testing.T) {
+	prop := func(id, obj uint64, ttl uint8, visitedRaw []string) bool {
+		visited := visitedRaw
+		if len(visited) > 64 {
+			visited = visited[:64]
+		}
+		for i, v := range visited {
+			if len(v) > 100 {
+				visited[i] = v[:100]
+			}
+		}
+		q := directedQueryPayload{
+			QueryID: id, TTL: ttl, Object: obj,
+			Originator: "o:1", Visited: visited,
+		}
+		got, err := decodeDirectedQuery(encodeDirectedQuery(q))
+		if err != nil {
+			return false
+		}
+		if got.QueryID != q.QueryID || got.TTL != q.TTL || got.Object != q.Object {
+			return false
+		}
+		if len(got.Visited) != len(visited) {
+			return false
+		}
+		for i := range visited {
+			if got.Visited[i] != visited[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsCodecRoundTripProperty(t *testing.T) {
+	prop := func(addrsRaw []string) bool {
+		addrs := addrsRaw
+		if len(addrs) > 100 {
+			addrs = addrs[:100]
+		}
+		for i, a := range addrs {
+			if len(a) > 100 {
+				addrs[i] = a[:100]
+			}
+		}
+		got, err := decodeNeighbors(encodeNeighbors(neighborsPayload{Addrs: addrs}))
+		if err != nil {
+			return false
+		}
+		if len(got.Addrs) != len(addrs) {
+			return false
+		}
+		for i := range addrs {
+			if got.Addrs[i] != addrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,10 @@
+set xlabel 'normalized rank'
+set ylabel 'eigenvalue'
+set yrange [0:2]
+set title 'Figure 1: normalized Laplacian spectrum under targeted failure'
+plot "fig1_s0.dat" using 1:2 with lines title "k-regular (intact)", \
+     "fig1_s1.dat" using 1:2 with lines title "Makalu, 0% failed", \
+     "fig1_s2.dat" using 1:2 with lines title "Makalu, 10% failed", \
+     "fig1_s3.dat" using 1:2 with lines title "Makalu, 20% failed", \
+     "fig1_s4.dat" using 1:2 with lines title "Makalu, 30% failed"
+pause -1

@@ -1,0 +1,6 @@
+set logscale xy
+set xlabel 'network size'
+set ylabel 'messages/query'
+set title 'Figure 2: messages per query vs network size (TTL 4, 1% replication)'
+plot 'fig2.dat' using 1:2 with linespoints title 'Makalu'
+pause -1

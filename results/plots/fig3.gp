@@ -1,0 +1,13 @@
+set xlabel 'TTL'
+set ylabel 'success rate'
+set yrange [0:1]
+set title 'Figure 3: success rate vs TTL (1% replication)'
+plot 'fig3.dat' using 1:2 with linespoints title '100 nodes', \
+     'fig3.dat' using 1:3 with linespoints title '200 nodes', \
+     'fig3.dat' using 1:4 with linespoints title '500 nodes', \
+     'fig3.dat' using 1:5 with linespoints title '1000 nodes', \
+     'fig3.dat' using 1:6 with linespoints title '2000 nodes', \
+     'fig3.dat' using 1:7 with linespoints title '5000 nodes', \
+     'fig3.dat' using 1:8 with linespoints title '10000 nodes', \
+     'fig3.dat' using 1:9 with linespoints title '100000 nodes'
+pause -1

@@ -1,0 +1,8 @@
+set xlabel 'TTL'
+set ylabel 'success rate'
+set yrange [0:1]
+set title 'Figure 4: attenuated-Bloom-filter search success vs TTL (100k nodes)'
+plot 'fig4.dat' using 1:2 with linespoints title '0.1% replication', \
+     'fig4.dat' using 1:3 with linespoints title '0.5% replication', \
+     'fig4.dat' using 1:4 with linespoints title '1.0% replication'
+pause -1

@@ -1,0 +1,94 @@
+package makalu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"makalu/internal/search"
+)
+
+// SearchResult reports one query execution.
+type SearchResult struct {
+	Found         bool // a matching node was reached
+	Messages      int  // overlay transmissions used
+	Duplicates    int  // redundant deliveries (flooding only)
+	NodesVisited  int  // distinct nodes reached
+	FirstMatchHop int  // hop distance of the first match (-1 if none)
+	MatchesFound  int  // matching nodes reached
+}
+
+func fromInternal(r search.Result) SearchResult {
+	return SearchResult{
+		Found:         r.Success,
+		Messages:      r.Messages,
+		Duplicates:    r.Duplicates,
+		NodesVisited:  r.Visited,
+		FirstMatchHop: r.FirstMatchHop,
+		MatchesFound:  r.MatchesFound,
+	}
+}
+
+// Flood runs a TTL-controlled flooding search from src over the alive
+// overlay: the paper's wildcard/attribute search mechanism. match is
+// the node predicate (use Content.Matcher or Content.WildcardMatcher).
+func (ov *Overlay) Flood(src, ttl int, match func(node int) bool) SearchResult {
+	if !ov.core.Alive(src) {
+		return SearchResult{FirstMatchHop: -1}
+	}
+	f := search.NewFlooder(ov.graphSnapshot())
+	return fromInternal(f.Flood(src, ttl, search.Matcher(match)))
+}
+
+// RandomWalkSearch runs a k-walker random walk from src (the
+// related-work baseline of Lv et al.).
+func (ov *Overlay) RandomWalkSearch(src, walkers, maxSteps int, match func(node int) bool, seed int64) SearchResult {
+	cfg := search.WalkConfig{Walkers: walkers, MaxSteps: maxSteps, CheckInterval: 4}
+	rng := rand.New(rand.NewSource(seed))
+	return fromInternal(search.RandomWalk(ov.graphSnapshot(), src, cfg, search.Matcher(match), rng))
+}
+
+// ExpandingRingSearch repeats floods with growing TTL until the query
+// resolves (TTL-control per Chang & Liu).
+func (ov *Overlay) ExpandingRingSearch(src, maxTTL int, match func(node int) bool, seed int64) SearchResult {
+	f := search.NewFlooder(ov.graphSnapshot())
+	cfg := search.RingConfig{StartTTL: 1, Step: 1, MaxTTL: maxTTL}
+	rng := rand.New(rand.NewSource(seed))
+	return fromInternal(search.ExpandingRing(f, src, cfg, search.Matcher(match), rng))
+}
+
+// IdentifierIndex is the attenuated-Bloom-filter routing state for
+// exact identifier search (§4.6). Build one per content placement;
+// rebuild after overlay mutations or content changes.
+type IdentifierIndex struct {
+	net    *search.ABFNetwork
+	router *search.ABFRouter
+	rng    *rand.Rand
+}
+
+// BuildIdentifierIndex computes every node's attenuated Bloom filter
+// hierarchy (depth 3, the paper's setting) over the current overlay
+// snapshot and the given content placement.
+func (ov *Overlay) BuildIdentifierIndex(c *Content) (*IdentifierIndex, error) {
+	if c == nil {
+		return nil, fmt.Errorf("makalu: nil content")
+	}
+	net, err := search.BuildABFNetwork(ov.graphSnapshot(), c.store, search.DefaultABFConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &IdentifierIndex{
+		net:    net,
+		router: search.NewABFRouter(net),
+		rng:    rand.New(rand.NewSource(ov.cfg.Seed + 23)),
+	}, nil
+}
+
+// Lookup routes an exact-identifier query from src with the given hop
+// budget, following the Bloom-filter potential function at each hop.
+func (ix *IdentifierIndex) Lookup(src int, obj uint64, ttl int) SearchResult {
+	return fromInternal(ix.router.Lookup(src, obj, ttl, ix.rng))
+}
+
+// MemoryBytes reports the total filter state the index keeps across
+// all nodes.
+func (ix *IdentifierIndex) MemoryBytes() int64 { return ix.net.MemoryBytes() }
