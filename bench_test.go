@@ -289,6 +289,21 @@ func BenchmarkRatingFunction(b *testing.B) {
 	}
 }
 
+// BenchmarkRateAllPass measures the batched whole-overlay rating pass
+// backing the ratings experiment and churn snapshots.
+func BenchmarkRateAllPass(b *testing.B) {
+	net := netmodel.NewEuclidean(2000, 1000, 1)
+	o, err := core.Build(2000, core.DefaultConfig(net, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf [][]core.RatingInfo
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = o.RateAll(buf)
+	}
+}
+
 // BenchmarkFloodQuery measures one TTL-4 flood on a 10k overlay.
 func BenchmarkFloodQuery(b *testing.B) {
 	const n = 10000

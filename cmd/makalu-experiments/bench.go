@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"makalu/internal/core"
+	"makalu/internal/netmodel"
+)
+
+// The -bench-json mode reruns the rating-engine micro-benchmarks
+// (internal/core/bench_test.go scenarios) through the public API and
+// writes a machine-readable report, so BENCH_core.json can be
+// committed next to the code as the performance trajectory record.
+
+// benchResult is one benchmark line of the report.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the BENCH_core.json document.
+type benchReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+func buildBenchOverlay(n, deg int, full bool) (*core.Overlay, error) {
+	net := netmodel.NewEuclidean(n, 1000, 1)
+	cfg := core.DefaultConfig(net, 1)
+	if deg > 0 {
+		caps := make([]int, n)
+		for i := range caps {
+			caps[i] = deg
+		}
+		cfg.Capacities = caps
+	}
+	cfg.FullRecomputePrune = full
+	return core.Build(n, cfg)
+}
+
+// runBenchJSON executes the benchmark suite and writes the report to
+// path. Scenarios mirror internal/core/bench_test.go: rating a node,
+// the batched RateAll pass, draining 10 excess links at mean degree
+// ≈ 30 on both prune engines, and full 2000-node construction on both.
+func runBenchJSON(path string) error {
+	// Fail on an unwritable path now, not after minutes of benchmarking.
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	add := func(name string, metrics map[string]float64, r testing.BenchmarkResult) {
+		rep.Benchmarks = append(rep.Benchmarks, benchResult{
+			Name:       name,
+			Iterations: r.N,
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			Metrics:    metrics,
+		})
+		fmt.Printf("%-40s %12.0f ns/op  (%d iterations)\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.N)
+	}
+
+	o, err := buildBenchOverlay(2000, 0, false)
+	if err != nil {
+		return err
+	}
+	var buf []core.RatingInfo
+	add("RateNeighbors/n=2000", nil, testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf = o.RateNeighbors(i%2000, buf[:0])
+		}
+	}))
+	var allBuf [][]core.RatingInfo
+	add("RateAll/n=2000", nil, testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			allBuf = o.RateAll(allBuf)
+		}
+	}))
+
+	const (
+		pn     = 1000
+		deg    = 30
+		excess = 10
+	)
+	var pruneNs [2]float64
+	for i, full := range []bool{true, false} {
+		po, err := buildBenchOverlay(pn, deg, full)
+		if err != nil {
+			return err
+		}
+		u := 0
+		for v := 1; v < pn; v++ {
+			if po.Graph().Degree(v) > po.Graph().Degree(u) {
+				u = v
+			}
+		}
+		rng := rand.New(rand.NewSource(42))
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				po.SetCapacity(u, deg+excess)
+				for po.Graph().Degree(u) < deg+excess {
+					v := rng.Intn(pn)
+					if v != u {
+						po.Graph().AddEdge(u, v)
+					}
+				}
+				b.StartTimer()
+				po.SetCapacity(u, deg)
+			}
+		})
+		pruneNs[i] = float64(r.T.Nanoseconds()) / float64(r.N)
+		name := "PruneToCapacity/full-recompute"
+		metrics := map[string]float64{"links-pruned/op": excess}
+		if !full {
+			name = "PruneToCapacity/incremental"
+			metrics["speedup-vs-full"] = pruneNs[0] / pruneNs[1]
+		}
+		add(name, metrics, r)
+	}
+
+	const bn = 2000
+	bnet := netmodel.NewEuclidean(bn, 1000, 1)
+	var buildNs [2]float64
+	for i, full := range []bool{true, false} {
+		r := testing.Benchmark(func(b *testing.B) {
+			for it := 0; it < b.N; it++ {
+				cfg := core.DefaultConfig(bnet, int64(it))
+				cfg.FullRecomputePrune = full
+				if _, err := core.Build(bn, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		buildNs[i] = float64(r.T.Nanoseconds()) / float64(r.N)
+		name := "BuildOverlay/full-recompute"
+		metrics := map[string]float64{"nodes/op": bn}
+		if !full {
+			name = "BuildOverlay/incremental"
+			metrics["speedup-vs-full"] = buildNs[0] / buildNs[1]
+		}
+		add(name, metrics, r)
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[benchmark report written to %s]\n", path)
+	return nil
+}

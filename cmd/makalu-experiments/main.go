@@ -10,7 +10,11 @@
 // Experiments: paths (E1), spectrum (E2), fig1 (E3), table1 (E4),
 // duplicates (E5), fig2 (E6), fig3 (E7), fig4 (E8), abf-vs-dht (E9),
 // table2 (E10), resilience (E11), expansion (E12), low-replication
-// (E13), all.
+// (E13), strategies (E14), convergence (E15), ratings (E16), all.
+//
+// -bench-json <path> skips the experiments and instead reruns the
+// rating-engine micro-benchmarks through the public API, writing a
+// machine-readable report (the committed BENCH_core.json).
 package main
 
 import (
@@ -24,14 +28,22 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (paths, spectrum, fig1, table1, duplicates, fig2, fig3, fig4, abf-vs-dht, table2, resilience, expansion, low-replication, strategies, convergence, all)")
+		exp     = flag.String("exp", "all", "experiment id (paths, spectrum, fig1, table1, duplicates, fig2, fig3, fig4, abf-vs-dht, table2, resilience, expansion, low-replication, strategies, convergence, ratings, all)")
 		n       = flag.Int("n", 2000, "network size (paper scale: 100000)")
 		queries = flag.Int("queries", 300, "queries per measurement point")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		sources = flag.Int("sources", 500, "BFS/Dijkstra sources for path analysis (0 = exact)")
 		plotDir = flag.String("plot", "", "write gnuplot .dat/.gp files for figures to this directory")
+		benchTo = flag.String("bench-json", "", "run the core micro-benchmarks and write a JSON report to this path instead of experiments")
 	)
 	flag.Parse()
+	if *benchTo != "" {
+		if err := runBenchJSON(*benchTo); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark run failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	opt := experiments.Options{N: *n, Queries: *queries, Seed: *seed}
 
 	type runner struct {
@@ -54,6 +66,7 @@ func main() {
 		{"low-replication", func() (interface{ Render() string }, error) { return experiments.RunLowReplication(opt) }},
 		{"strategies", func() (interface{ Render() string }, error) { return experiments.RunStrategies(opt) }},
 		{"convergence", func() (interface{ Render() string }, error) { return experiments.RunConvergence(opt, 10) }},
+		{"ratings", func() (interface{ Render() string }, error) { return experiments.RunRatings(opt) }},
 	}
 
 	matched := false

@@ -59,6 +59,7 @@ func main() {
 		ManageInterval:   5,
 		SnapshotInterval: 30,
 		Seed:             35,
+		RatingSnapshots:  true, // track the §2.1 steering signal too
 	}
 	res, err := sim.RunChurn(overlay, cfg)
 	if err != nil {
@@ -66,10 +67,10 @@ func main() {
 	}
 	fmt.Printf("%d departures, %d rejoins over %.0f time units\n",
 		res.Departures, res.Rejoins, cfg.Duration)
-	fmt.Printf("%8s %8s %12s %8s %10s\n", "time", "live", "components", "giant", "meandeg")
+	fmt.Printf("%8s %8s %12s %8s %10s %10s\n", "time", "live", "components", "giant", "meandeg", "rating")
 	for _, s := range res.Timeline {
-		fmt.Printf("%8.1f %8d %12d %7.1f%% %10.2f\n",
-			s.Time, s.Live, s.Components, 100*s.GiantFraction, s.MeanDegree)
+		fmt.Printf("%8.1f %8d %12d %7.1f%% %10.2f %10.3f\n",
+			s.Time, s.Live, s.Components, 100*s.GiantFraction, s.MeanDegree, s.MeanRating)
 	}
 }
 

@@ -32,23 +32,30 @@ func (o *Overlay) randomWalkCandidates(u, seed int, out []int32) []int32 {
 	if !o.alive[seed] {
 		return out
 	}
-	var fallback []int32
-	contains := func(s []int32, x int) bool {
-		for _, c := range s {
-			if int(c) == x {
-				return true
-			}
+	// Membership in out/fallback is tracked with an epoch-stamped mark
+	// per node instead of linear scans, so accepting a candidate is
+	// O(1) rather than O(candidates collected so far). The boundary
+	// membership test ("is x already visible within two hops of u?")
+	// is likewise precomputed once into the stamp array — one O(deg²)
+	// sweep for the whole walk instead of one per candidate. Γ(u) does
+	// not change while candidates are gathered, so the set stays valid.
+	s := &o.scratch
+	s.markEpoch++
+	mep := s.markEpoch
+	s.epoch++
+	bep := s.epoch
+	for _, w := range o.g.Neighbors(u) {
+		for _, y := range o.neighborView(int(w)) {
+			s.stamp[y] = bep
 		}
-		return false
 	}
+	fallback := o.fallbackBuf[:0]
 	maybeAdd := func(x int) {
-		if x == u || o.g.HasEdge(u, x) || !o.alive[x] {
+		if x == u || s.mark[x] == mep || o.g.HasEdge(u, x) || !o.alive[x] {
 			return
 		}
-		if contains(out, x) || contains(fallback, x) {
-			return
-		}
-		if o.inBoundary(u, x) {
+		s.mark[x] = mep
+		if s.stamp[x] == bep { // x ∈ Γ(u) ∪ ∂Γ(u): fallback only
 			fallback = append(fallback, int32(x))
 			return
 		}
@@ -88,20 +95,8 @@ func (o *Overlay) randomWalkCandidates(u, seed int, out []int32) []int32 {
 		}
 		out = append(out, f)
 	}
+	o.fallbackBuf = fallback
 	return out
-}
-
-// inBoundary reports whether x is already reachable within two hops
-// of u — i.e. x ∈ Γ(u) ∪ ∂Γ(u) as seen through u's neighbor views.
-func (o *Overlay) inBoundary(u, x int) bool {
-	for _, w := range o.g.Neighbors(u) {
-		for _, y := range o.neighborView(int(w)) {
-			if int(y) == x {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // connect establishes the undirected connection (u, v) and runs the
@@ -129,6 +124,15 @@ func (o *Overlay) connect(u, v int) bool {
 		o.pruneToCapacity(v, nil)
 	}
 	return o.g.HasEdge(u, v)
+}
+
+// Connect dials v from u through the paper's provisional-accept rule:
+// the edge is added unconditionally and both endpoints prune back to
+// capacity, so the link survives only if it outranks each side's worst
+// neighbor. It reports whether the edge survived. Exported for tools,
+// simulations and benchmarks that drive the protocol from outside.
+func (o *Overlay) Connect(u, v int) bool {
+	return o.connect(u, v)
 }
 
 // join brings node u into the overlay: it picks a random already
@@ -187,13 +191,7 @@ func (o *Overlay) ManageRound() {
 			}
 		}
 	}
-	if o.cfg.Views == ProtocolViews {
-		for u := 0; u < n; u++ {
-			if o.alive[u] {
-				o.refreshView(u)
-			}
-		}
-	}
+	o.refreshAllViews() // parallel snapshot sweep (ProtocolViews only)
 	order := o.rng.Perm(n)
 	for _, u := range order {
 		if !o.alive[u] {

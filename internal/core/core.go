@@ -76,6 +76,20 @@ type Config struct {
 	// mean anything, and what reproduces the paper's measured
 	// connectivity and duplicate figures (see DESIGN.md).
 	RawProximity bool
+	// FullRecomputePrune disables the incremental rating engine inside
+	// the pruning loop and re-rates every neighbor from scratch after
+	// each removal, as the paper describes Manage() literally. The
+	// incremental default produces bit-identical edge sets (asserted by
+	// the golden determinism tests) in O(deg² + k·deg) instead of
+	// O(k·deg²) for k removals; this flag keeps the slow path alive as
+	// the test oracle and for benchmarking the gap.
+	FullRecomputePrune bool
+	// Workers bounds the worker pool used by the parallel read-only
+	// phases (the ManageRound view-exchange sweep and RateAll). 0 uses
+	// one worker per CPU; 1 forces fully sequential execution. Results
+	// are independent of the worker count — phases shard per node with
+	// a deterministic merge order — so this only trades wall clock.
+	Workers int
 	// Seed drives all randomness in construction.
 	Seed int64
 	// Tracer, when non-nil, observes every protocol action the
@@ -130,8 +144,11 @@ type Overlay struct {
 	// ProtocolViews mode; nil entries mean "never exchanged".
 	views [][]int32
 
-	scratch ratingScratch
-	candBuf []int32 // reusable candidate buffer for walks
+	scratch     ratingScratch
+	scratchPool []*ratingScratch // per-worker scratches for parallel phases
+	candBuf     []int32          // reusable candidate buffer for walks
+	fallbackBuf []int32          // reusable boundary-fallback buffer for walks
+	leaveBuf    []int32          // reusable neighbor snapshot for Leave
 }
 
 // Build constructs a Makalu overlay of n nodes: nodes join one at a

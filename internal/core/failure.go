@@ -78,7 +78,11 @@ func (o *Overlay) Leave(u int) bool {
 	if u < 0 || u >= o.g.N() || !o.alive[u] {
 		return false
 	}
-	neighbors := append([]int32(nil), o.g.Neighbors(u)...)
+	// Snapshot the neighbor list into a reusable buffer (the refills
+	// below mutate the adjacency under us). Leave is not reentrant, so
+	// one buffer per overlay suffices.
+	o.leaveBuf = append(o.leaveBuf[:0], o.g.Neighbors(u)...)
+	neighbors := o.leaveBuf
 	if t := o.cfg.Tracer; t != nil {
 		for _, v := range neighbors {
 			t.Disconnect(u, int(v))

@@ -3,15 +3,34 @@ package core
 import "math"
 
 // ratingScratch holds the epoch-stamped counting arrays that make one
-// rating evaluation O(deg²) with no allocation. A single scratch is
-// owned by the Overlay; construction is single-goroutine (it models a
-// sequential protocol trace), so no locking is needed.
+// rating evaluation O(deg²) with no allocation. The Overlay owns one
+// scratch for the sequential protocol trace plus a lazily-grown pool
+// with one extra scratch per worker for the parallel read-only phases
+// (see parallel.go). A scratch is single-owner state: it is never
+// shared between goroutines.
 type ratingScratch struct {
 	epoch   int32
 	count   []int32 // how many of u's neighbors can reach x
 	stamp   []int32 // epoch when count[x] was last touched
 	exclude []int32 // epoch when x was marked as Γ(u) ∪ {u}
 	touched []int32 // nodes with count stamped this epoch
+
+	// Incremental-prune state (see pruneIncremental): ownerSum[x] is
+	// the sum of the neighbor ids whose views contain x, so when
+	// count[x] == 1 it identifies the sole contributing neighbor
+	// without a search; uniq[w] is the running |R(u,w)| per neighbor;
+	// lat[w] caches the raw link latency d(u,w), which is invariant
+	// across removals.
+	ownerSum []int64
+	uniq     []int32
+	lat      []float64
+
+	// Walk-candidate membership marks (randomWalkCandidates): a node
+	// is in the current candidate or fallback list iff mark[x] equals
+	// markEpoch. Separate epoch counter so candidate gathering and
+	// rating calls never invalidate each other.
+	mark      []int32
+	markEpoch int32
 
 	ratingBuf []RatingInfo // reusable result buffer for pruning
 }
@@ -20,6 +39,10 @@ func (s *ratingScratch) init(n int) {
 	s.count = make([]int32, n)
 	s.stamp = make([]int32, n)
 	s.exclude = make([]int32, n)
+	s.ownerSum = make([]int64, n)
+	s.uniq = make([]int32, n)
+	s.lat = make([]float64, n)
+	s.mark = make([]int32, n)
 	s.touched = make([]int32, 0, 256)
 }
 
@@ -28,6 +51,10 @@ func (s *ratingScratch) grow(n int) {
 		s.count = append(s.count, 0)
 		s.stamp = append(s.stamp, 0)
 		s.exclude = append(s.exclude, 0)
+		s.ownerSum = append(s.ownerSum, 0)
+		s.uniq = append(s.uniq, 0)
+		s.lat = append(s.lat, 0)
+		s.mark = append(s.mark, 0)
 	}
 }
 
@@ -66,6 +93,44 @@ type RatingInfo struct {
 // do not produce an infinite proximity score.
 const minPositiveLatency = 1e-9
 
+// scoreTerms computes the two rating terms from their ingredients.
+// Both the full-recompute and the incremental paths route through this
+// one function so their scores are bitwise identical — the property
+// the golden determinism tests rely on.
+func (o *Overlay) scoreTerms(unique, boundary int, d, dmax, dmin float64) (conn, prox float64) {
+	if boundary > 0 {
+		conn = o.cfg.Alpha * float64(unique) / float64(boundary)
+	}
+	if dmax > 0 {
+		if o.cfg.RawProximity {
+			prox = o.cfg.Beta * dmax / d
+		} else {
+			prox = o.cfg.Beta * dmin / d
+		}
+	}
+	return conn, prox
+}
+
+// latencyExtremes returns d_max and the floored d_min over u's current
+// neighbors.
+func (o *Overlay) latencyExtremes(u int, nb []int32) (dmax, dmin float64) {
+	dmax = 0.0
+	dmin = math.Inf(1)
+	for _, w := range nb {
+		d := o.cfg.Net.Latency(u, int(w))
+		if d > dmax {
+			dmax = d
+		}
+		if d < dmin {
+			dmin = d
+		}
+	}
+	if dmin < minPositiveLatency {
+		dmin = minPositiveLatency
+	}
+	return dmax, dmin
+}
+
 // RateNeighbors computes the Makalu rating of every current neighbor
 // of u, in adjacency order. The slice is reused scratch owned by the
 // caller via append semantics (pass nil to allocate).
@@ -75,12 +140,17 @@ const minPositiveLatency = 1e-9
 // through another neighbor; the node boundary ∂Γ(u) is the union of
 // all views minus Γ(u) ∪ {u}.
 func (o *Overlay) RateNeighbors(u int, out []RatingInfo) []RatingInfo {
+	return o.rateNeighborsOn(&o.scratch, u, out)
+}
+
+// rateNeighborsOn is RateNeighbors on an explicit scratch, so the
+// parallel RateAll workers can rate without sharing state.
+func (o *Overlay) rateNeighborsOn(s *ratingScratch, u int, out []RatingInfo) []RatingInfo {
 	nb := o.g.Neighbors(u)
 	out = out[:0]
 	if len(nb) == 0 {
 		return out
 	}
-	s := &o.scratch
 	s.epoch++
 	ep := s.epoch
 	s.touched = s.touched[:0]
@@ -107,22 +177,7 @@ func (o *Overlay) RateNeighbors(u int, out []RatingInfo) []RatingInfo {
 		}
 	}
 	boundary := len(s.touched)
-
-	// Latency extremes.
-	dmax := 0.0
-	dmin := math.Inf(1)
-	for _, w := range nb {
-		d := o.cfg.Net.Latency(u, int(w))
-		if d > dmax {
-			dmax = d
-		}
-		if d < dmin {
-			dmin = d
-		}
-	}
-	if dmin < minPositiveLatency {
-		dmin = minPositiveLatency
-	}
+	dmax, dmin := o.latencyExtremes(u, nb)
 
 	for _, w := range nb {
 		unique := 0
@@ -142,16 +197,7 @@ func (o *Overlay) RateNeighbors(u int, out []RatingInfo) []RatingInfo {
 			Latency:    d,
 			MaxLatency: dmax,
 		}
-		if boundary > 0 {
-			info.Connectivity = o.cfg.Alpha * float64(unique) / float64(boundary)
-		}
-		if dmax > 0 {
-			if o.cfg.RawProximity {
-				info.Proximity = o.cfg.Beta * dmax / d
-			} else {
-				info.Proximity = o.cfg.Beta * dmin / d
-			}
-		}
+		info.Connectivity, info.Proximity = o.scoreTerms(unique, boundary, d, dmax, dmin)
 		info.Score = info.Connectivity + info.Proximity
 		out = append(out, info)
 	}
@@ -159,9 +205,12 @@ func (o *Overlay) RateNeighbors(u int, out []RatingInfo) []RatingInfo {
 }
 
 // Rating returns the score of neighbor v as seen by u, or NaN when v
-// is not currently a neighbor of u.
+// is not currently a neighbor of u. The computation reuses the
+// overlay's scratch rating buffer, so calls allocate nothing once the
+// buffer has grown to the overlay's maximum degree.
 func (o *Overlay) Rating(u, v int) float64 {
-	infos := o.RateNeighbors(u, nil)
+	infos := o.RateNeighbors(u, o.scratch.ratings())
+	o.scratch.ratingBuf = infos // keep any growth for reuse
 	for _, in := range infos {
 		if in.Neighbor == v {
 			return in.Score
@@ -172,9 +221,26 @@ func (o *Overlay) Rating(u, v int) float64 {
 
 // pruneToCapacity implements the inner loop of Manage(): while u has
 // more neighbors than its capacity, disconnect the lowest-rated one.
-// Ratings are recomputed after every removal because the boundary and
-// unique sets change. It returns the disconnected nodes.
+// The incremental engine maintains the rating state across removals
+// (one O(deg²) view sweep total, O(deg) per removal); setting
+// Config.FullRecomputePrune re-rates every neighbor from scratch after
+// each removal, which is the paper-literal oracle the incremental path
+// is tested against. Both produce identical edge sets. It returns the
+// disconnected nodes.
 func (o *Overlay) pruneToCapacity(u int, dropped []int32) []int32 {
+	if o.g.Degree(u) <= o.caps[u] {
+		return dropped
+	}
+	if o.cfg.FullRecomputePrune {
+		return o.pruneFullRecompute(u, dropped)
+	}
+	return o.pruneIncremental(u, dropped)
+}
+
+// pruneFullRecompute is the seed implementation: ratings are recomputed
+// after every removal because the boundary and unique sets change.
+// O(k·deg²) for k removals; kept as the incremental engine's oracle.
+func (o *Overlay) pruneFullRecompute(u int, dropped []int32) []int32 {
 	for o.g.Degree(u) > o.caps[u] {
 		infos := o.RateNeighbors(u, o.scratch.ratings())
 		o.scratch.ratingBuf = infos // keep any growth for reuse
@@ -185,15 +251,221 @@ func (o *Overlay) pruneToCapacity(u int, dropped []int32) []int32 {
 			}
 		}
 		v := infos[worst].Neighbor
-		o.g.RemoveEdge(u, v)
-		if t := o.cfg.Tracer; t != nil {
-			t.Disconnect(u, v)
-		}
-		o.refreshView(u)
-		o.refreshView(v)
+		o.disconnect(u, v)
 		dropped = append(dropped, int32(v))
 	}
 	return dropped
+}
+
+// pruneIncremental drains u's excess links with an incrementally
+// maintained rating state. One fused sweep over the neighbor views
+// builds count/ownerSum/uniq and the boundary size; each removal then
+// subtracts only the dropped neighbor's view:
+//
+//   - count[x]--, ownerSum[x] -= v for every x in v's view; a 2→1
+//     transition hands x's uniqueness to its remaining owner
+//     (ownerSum[x]), a 1→0 transition shrinks the boundary;
+//   - v itself stops being excluded (it left Γ(u)) and joins the
+//     boundary if a surviving neighbor still sees it;
+//   - d_max/d_min are recomputed in O(deg).
+//
+// Scores are rebuilt from the maintained integers through the same
+// scoreTerms as the full recompute, so the drop sequence is identical
+// to the oracle's bit for bit.
+func (o *Overlay) pruneIncremental(u int, dropped []int32) []int32 {
+	if o.g.Degree(u)-o.caps[u] == 1 {
+		// The overwhelmingly common prune — an at-capacity node just
+		// accepted one dial — drops exactly one link and never reads
+		// the state again, so it takes a leaner single-removal path.
+		return o.pruneSingle(u, dropped)
+	}
+	s := &o.scratch
+	s.epoch++
+	ep := s.epoch
+	nb := o.g.Neighbors(u)
+
+	// Fused state build: one pass over all views. Unlike RateNeighbors,
+	// nodes of Γ(u) ∪ {u} are counted too (with the exclude mark kept
+	// separately), because a pruned neighbor leaves the excluded set
+	// and its membership in the boundary is then read off count[v].
+	// Link latencies are cached up front — d(u,w) never changes while
+	// links are only removed.
+	s.exclude[u] = ep
+	for _, w := range nb {
+		s.exclude[w] = ep
+		s.uniq[w] = 0
+		s.lat[w] = o.cfg.Net.Latency(u, int(w))
+	}
+	boundary := 0
+	for _, w := range nb {
+		wid := int64(w)
+		for _, x := range o.neighborView(int(w)) {
+			if s.stamp[x] != ep {
+				s.stamp[x] = ep
+				s.count[x] = 1
+				s.ownerSum[x] = wid
+				if s.exclude[x] != ep {
+					boundary++
+					s.uniq[w]++ // provisional: x unique to w so far
+				}
+			} else {
+				if s.exclude[x] != ep && s.count[x] == 1 {
+					s.uniq[s.ownerSum[x]]-- // second owner: no longer unique
+				}
+				s.count[x]++
+				s.ownerSum[x] += wid
+			}
+		}
+	}
+
+	for {
+		nb = o.g.Neighbors(u)
+		// Latency extremes from the cache: identical comparisons to
+		// latencyExtremes, without re-querying the network model.
+		dmax := 0.0
+		dmin := math.Inf(1)
+		for _, w := range nb {
+			d := s.lat[w]
+			if d > dmax {
+				dmax = d
+			}
+			if d < dmin {
+				dmin = d
+			}
+		}
+		if dmin < minPositiveLatency {
+			dmin = minPositiveLatency
+		}
+		worst := 0
+		worstScore := math.Inf(1)
+		for i, w := range nb {
+			d := s.lat[w]
+			if d < minPositiveLatency {
+				d = minPositiveLatency
+			}
+			conn, prox := o.scoreTerms(int(s.uniq[w]), boundary, d, dmax, dmin)
+			if score := conn + prox; score < worstScore {
+				worst, worstScore = i, score
+			}
+		}
+		v := int(nb[worst])
+		// The final removal needs no state maintenance — nothing will
+		// read the rating state afterwards. This matters because the
+		// overwhelmingly common prune (an at-capacity node accepting
+		// one dial) drops exactly one link.
+		if last := len(nb)-1 <= o.caps[u]; last {
+			o.disconnect(u, v)
+			return append(dropped, int32(v))
+		}
+
+		// Subtract v's view before the edge goes away (in OracleViews
+		// mode the removal would otherwise mutate the view under us).
+		vid := int64(v)
+		for _, x := range o.neighborView(v) {
+			s.count[x]--
+			s.ownerSum[x] -= vid
+			if s.exclude[x] == ep {
+				continue
+			}
+			switch s.count[x] {
+			case 1:
+				s.uniq[s.ownerSum[x]]++ // sole owner again
+			case 0:
+				boundary--
+			}
+		}
+		o.disconnect(u, v)
+		// v left Γ(u): it is boundary material now if any surviving
+		// neighbor's view still reaches it.
+		s.exclude[v] = 0
+		if s.stamp[v] == ep && s.count[v] > 0 {
+			boundary++
+			if s.count[v] == 1 {
+				s.uniq[s.ownerSum[v]]++
+			}
+		}
+		dropped = append(dropped, int32(v))
+	}
+}
+
+// pruneSingle drops the one lowest-rated neighbor of u. It computes
+// per-neighbor unique counts in a single fused pass over the views:
+// the first (non-excluded) sighting of x credits its owner w and joins
+// the boundary; a second sighting revokes the credit. The owner is
+// parked in the count array (-1 once multi-owned) — no counts, owner
+// sums or subtraction bookkeeping are needed because nothing reads the
+// state after the removal. Scores route through scoreTerms, so the
+// victim matches the full-recompute oracle's bit for bit.
+func (o *Overlay) pruneSingle(u int, dropped []int32) []int32 {
+	s := &o.scratch
+	s.epoch++
+	ep := s.epoch
+	nb := o.g.Neighbors(u)
+
+	s.exclude[u] = ep
+	for _, w := range nb {
+		s.exclude[w] = ep
+		s.uniq[w] = 0
+		s.lat[w] = o.cfg.Net.Latency(u, int(w))
+	}
+	boundary := 0
+	for _, w := range nb {
+		for _, x := range o.neighborView(int(w)) {
+			if s.exclude[x] == ep {
+				continue
+			}
+			if s.stamp[x] != ep {
+				s.stamp[x] = ep
+				s.count[x] = int32(w) // park the provisional owner
+				s.uniq[w]++
+				boundary++
+			} else if own := s.count[x]; own >= 0 {
+				s.uniq[own]--
+				s.count[x] = -1
+			}
+		}
+	}
+
+	dmax := 0.0
+	dmin := math.Inf(1)
+	for _, w := range nb {
+		d := s.lat[w]
+		if d > dmax {
+			dmax = d
+		}
+		if d < dmin {
+			dmin = d
+		}
+	}
+	if dmin < minPositiveLatency {
+		dmin = minPositiveLatency
+	}
+	worst := 0
+	worstScore := math.Inf(1)
+	for i, w := range nb {
+		d := s.lat[w]
+		if d < minPositiveLatency {
+			d = minPositiveLatency
+		}
+		conn, prox := o.scoreTerms(int(s.uniq[w]), boundary, d, dmax, dmin)
+		if score := conn + prox; score < worstScore {
+			worst, worstScore = i, score
+		}
+	}
+	v := int(nb[worst])
+	o.disconnect(u, v)
+	return append(dropped, int32(v))
+}
+
+// disconnect tears down the edge (u, v) with tracing and view refresh,
+// shared by both prune paths.
+func (o *Overlay) disconnect(u, v int) {
+	o.g.RemoveEdge(u, v)
+	if t := o.cfg.Tracer; t != nil {
+		t.Disconnect(u, v)
+	}
+	o.refreshView(u)
+	o.refreshView(v)
 }
 
 // ratings returns a reusable RatingInfo slice stored on the scratch.

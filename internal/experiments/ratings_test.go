@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRatings(t *testing.T) {
+	res, err := RunRatings(Options{N: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Links == 0 {
+		t.Fatal("settled overlay has no rated links")
+	}
+	if res.MeanScore <= 0 {
+		t.Fatalf("mean score %v, want > 0", res.MeanScore)
+	}
+	if res.P10 > res.P50 || res.P50 > res.P90 {
+		t.Fatalf("percentiles out of order: %v %v %v", res.P10, res.P50, res.P90)
+	}
+	// Score = connectivity + proximity, so the means must add up.
+	if diff := res.MeanScore - (res.MeanConnectivity + res.MeanProximity); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("term means do not add up to the score mean (diff %v)", diff)
+	}
+	if res.ZeroUniqueShare < 0 || res.ZeroUniqueShare > 1 {
+		t.Fatalf("zero-unique share %v outside [0,1]", res.ZeroUniqueShare)
+	}
+	if res.WorstLinkMean > res.MeanScore {
+		t.Fatalf("mean worst link %v above mean score %v", res.WorstLinkMean, res.MeanScore)
+	}
+	out := res.Render()
+	for _, want := range []string{"E16", "mean score", "zero-unique"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -30,6 +30,12 @@ type ChurnConfig struct {
 	SearchProbes int
 	SearchTTL    int
 	SearchStore  *content.Store
+
+	// RatingSnapshots, when true, records the mean §2.1 link rating at
+	// every snapshot via the batched RateAll pass — churn-time
+	// maintenance visibility into how far the rating engine's steering
+	// signal degrades between management rounds.
+	RatingSnapshots bool
 }
 
 // DefaultChurnConfig runs 100 time units with sessions averaging 50,
@@ -53,6 +59,7 @@ type Snapshot struct {
 	GiantFraction float64 // largest component size / alive nodes
 	MeanDegree    float64 // mean degree over alive nodes
 	SearchSuccess float64 // flood success rate (-1 when probing is off)
+	MeanRating    float64 // mean link rating (-1 when RatingSnapshots is off)
 }
 
 // ChurnResult is the outcome of a churn run.
@@ -116,11 +123,17 @@ func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
 		cfg.SearchTTL = 4
 	}
 	probeRng := rand.New(rand.NewSource(cfg.Seed + 7))
+	var rateBuf [][]core.RatingInfo // reused across snapshots
 	snapshot := func() {
 		snap := takeSnapshot(o, eng.Now())
 		snap.SearchSuccess = -1
 		if cfg.SearchProbes > 0 {
 			snap.SearchSuccess = measureSearch(o, cfg.SearchStore, cfg.SearchProbes, cfg.SearchTTL, probeRng)
+		}
+		snap.MeanRating = -1
+		if cfg.RatingSnapshots {
+			rateBuf = o.RateAll(rateBuf)
+			snap.MeanRating = meanRating(rateBuf)
 		}
 		res.Timeline = append(res.Timeline, snap)
 	}
@@ -164,6 +177,23 @@ func measureSearch(o *core.Overlay, store *content.Store, probes, ttl int, rng *
 		}
 	}
 	return float64(found) / float64(probes)
+}
+
+// meanRating averages the link scores of a RateAll pass; 0 when the
+// overlay has no live links.
+func meanRating(all [][]core.RatingInfo) float64 {
+	var sum float64
+	links := 0
+	for _, infos := range all {
+		for _, in := range infos {
+			sum += in.Score
+			links++
+		}
+	}
+	if links == 0 {
+		return 0
+	}
+	return sum / float64(links)
 }
 
 func takeSnapshot(o *core.Overlay, t float64) Snapshot {

@@ -82,3 +82,33 @@ func TestMeasureSearchMatchesOnlyAliveReplicas(t *testing.T) {
 		t.Fatalf("dead replica still found: %v", got)
 	}
 }
+
+func TestRatingSnapshotsDuringChurn(t *testing.T) {
+	o := buildOverlay(t, 200, 71)
+	cfg := DefaultChurnConfig(72)
+	cfg.RatingSnapshots = true
+	res, err := RunChurn(o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no snapshots recorded")
+	}
+	for i, s := range res.Timeline {
+		if s.Live > 1 && s.MeanRating <= 0 {
+			t.Fatalf("snapshot %d: live overlay but MeanRating = %v", i, s.MeanRating)
+		}
+	}
+
+	// Off by default: the field must stay at its sentinel.
+	o2 := buildOverlay(t, 200, 71)
+	res2, err := RunChurn(o2, DefaultChurnConfig(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res2.Timeline {
+		if s.MeanRating != -1 {
+			t.Fatalf("snapshot %d: RatingSnapshots off but MeanRating = %v", i, s.MeanRating)
+		}
+	}
+}

@@ -69,6 +69,11 @@ type Config struct {
 	// Headroom reserves latency-model slots beyond Nodes so AddNode
 	// can grow the overlay later. Default 0.
 	Headroom int
+	// Workers bounds the worker pool for the batched read-only passes
+	// (RateAll, protocol view refresh). 0 defaults to GOMAXPROCS; 1
+	// forces fully sequential execution. Results are identical at any
+	// setting.
+	Workers int
 }
 
 // Overlay is a built Makalu overlay plus cached analysis state.
@@ -124,6 +129,7 @@ func New(cfg Config) (*Overlay, error) {
 	}
 	coreCfg := core.DefaultConfig(model, cfg.Seed)
 	coreCfg.Alpha, coreCfg.Beta = cfg.Alpha, cfg.Beta
+	coreCfg.Workers = cfg.Workers
 	capRng := rand.New(rand.NewSource(cfg.Seed + 1))
 	caps := make([]int, cfg.Nodes)
 	for i := range caps {
@@ -197,6 +203,33 @@ func (ov *Overlay) RateNeighbors(u int) []NeighborRating {
 			Proximity:    in.Proximity,
 			Score:        in.Score,
 		}
+	}
+	return out
+}
+
+// RateAllNeighbors runs the batched whole-overlay rating pass (one
+// RateNeighbors row per node, empty for dead nodes), sharded over the
+// configured worker pool. Equivalent to calling RateNeighbors for
+// every node, but one pass over the overlay.
+func (ov *Overlay) RateAllNeighbors() [][]NeighborRating {
+	all := ov.core.RateAll(nil)
+	out := make([][]NeighborRating, len(all))
+	for u, infos := range all {
+		if len(infos) == 0 {
+			continue
+		}
+		row := make([]NeighborRating, len(infos))
+		for i, in := range infos {
+			row[i] = NeighborRating{
+				Neighbor:     in.Neighbor,
+				Unique:       in.Unique,
+				Boundary:     in.Boundary,
+				Connectivity: in.Connectivity,
+				Proximity:    in.Proximity,
+				Score:        in.Score,
+			}
+		}
+		out[u] = row
 	}
 	return out
 }
