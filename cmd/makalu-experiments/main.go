@@ -15,6 +15,11 @@
 // -bench-json <path> skips the experiments and instead reruns the
 // rating-engine micro-benchmarks through the public API, writing a
 // machine-readable report (the committed BENCH_core.json).
+//
+// -live-churn skips the experiments and runs the live TCP
+// fault-injection scenario: a real in-process network under the
+// faultnet injector is hard-killed and partitioned, and the recovery
+// is reported as the same snapshot timeline `makalu-sim -churn` emits.
 package main
 
 import (
@@ -33,13 +38,22 @@ func main() {
 		queries = flag.Int("queries", 300, "queries per measurement point")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		sources = flag.Int("sources", 500, "BFS/Dijkstra sources for path analysis (0 = exact)")
-		plotDir = flag.String("plot", "", "write gnuplot .dat/.gp files for figures to this directory")
-		benchTo = flag.String("bench-json", "", "run the core micro-benchmarks and write a JSON report to this path instead of experiments")
+		plotDir   = flag.String("plot", "", "write gnuplot .dat/.gp files for figures to this directory")
+		benchTo   = flag.String("bench-json", "", "run the core micro-benchmarks and write a JSON report to this path instead of experiments")
+		liveChurn = flag.Bool("live-churn", false, "run the live TCP fault-injection scenario instead of experiments (uses -seed; scale with -live-nodes)")
+		liveNodes = flag.Int("live-nodes", 24, "node count for -live-churn")
 	)
 	flag.Parse()
 	if *benchTo != "" {
 		if err := runBenchJSON(*benchTo); err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark run failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *liveChurn {
+		if err := runLiveChurn(*liveNodes, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "live churn failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -69,9 +69,14 @@ func main() {
 		fmt.Printf("churn: %d departures, %d rejoins\n", res.Departures, res.Rejoins)
 		fmt.Printf("%8s %8s %12s %8s %10s %10s\n", "time", "live", "components", "giant", "meandeg", "search")
 		for _, s := range res.Timeline {
-			fmt.Printf("%8.1f %8d %12d %7.1f%% %10.2f %9.1f%%\n",
-				s.Time, s.Live, s.Components, 100*s.GiantFraction, s.MeanDegree, 100*s.SearchSuccess)
+			// FmtPercent keeps the -1 "probing off" sentinel from
+			// rendering as a bogus -100%.
+			fmt.Printf("%8.1f %8d %12d %7.1f%% %10.2f %10s\n",
+				s.Time, s.Live, s.Components, 100*s.GiantFraction, s.MeanDegree, sim.FmtPercent(s.SearchSuccess))
 		}
+		sum := sim.SummarizeTimeline(res.Timeline)
+		fmt.Printf("summary: giant min %.1f%% mean %.1f%%, search mean %s (over %d probed snapshots)\n",
+			100*sum.MinGiant, 100*sum.MeanGiant, sim.FmtPercent(sum.MeanSearchSuccess), sum.SearchSamples)
 		return
 	}
 

@@ -69,8 +69,10 @@ func main() {
 		res.Departures, res.Rejoins, cfg.Duration)
 	fmt.Printf("%8s %8s %12s %8s %10s %10s\n", "time", "live", "components", "giant", "meandeg", "rating")
 	for _, s := range res.Timeline {
-		fmt.Printf("%8.1f %8d %12d %7.1f%% %10.2f %10.3f\n",
-			s.Time, s.Live, s.Components, 100*s.GiantFraction, s.MeanDegree, s.MeanRating)
+		// FmtRating guards the -1 "rating off" sentinel (and would
+		// print "off" if RatingSnapshots were disabled above).
+		fmt.Printf("%8.1f %8d %12d %7.1f%% %10.2f %10s\n",
+			s.Time, s.Live, s.Components, 100*s.GiantFraction, s.MeanDegree, sim.FmtRating(s.MeanRating))
 	}
 }
 

@@ -126,11 +126,11 @@ func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
 	var rateBuf [][]core.RatingInfo // reused across snapshots
 	snapshot := func() {
 		snap := takeSnapshot(o, eng.Now())
-		snap.SearchSuccess = -1
+		snap.SearchSuccess = SentinelOff
 		if cfg.SearchProbes > 0 {
 			snap.SearchSuccess = measureSearch(o, cfg.SearchStore, cfg.SearchProbes, cfg.SearchTTL, probeRng)
 		}
-		snap.MeanRating = -1
+		snap.MeanRating = SentinelOff
 		if cfg.RatingSnapshots {
 			rateBuf = o.RateAll(rateBuf)
 			snap.MeanRating = meanRating(rateBuf)

@@ -1,0 +1,93 @@
+package sim
+
+import "fmt"
+
+// SentinelOff marks a Snapshot metric that was not measured
+// (SearchSuccess with probing disabled, MeanRating with rating
+// snapshots disabled). Consumers must never average or print it as a
+// real value: a timeline mean that folds in -1 silently deflates the
+// statistic.
+const SentinelOff = -1.0
+
+// MetricOn reports whether a Snapshot metric carries a measurement
+// rather than the off sentinel.
+func MetricOn(v float64) bool { return v != SentinelOff }
+
+// TimelineSummary aggregates a churn timeline. Optional metrics are
+// averaged only over the snapshots that measured them; when none did,
+// the summary fields carry SentinelOff themselves.
+type TimelineSummary struct {
+	Samples   int
+	MinGiant  float64 // worst giant-component fraction observed
+	MeanGiant float64
+
+	MeanDegree float64
+
+	SearchSamples     int     // snapshots that probed search
+	MeanSearchSuccess float64 // SentinelOff when SearchSamples == 0
+	MinSearchSuccess  float64 // SentinelOff when SearchSamples == 0
+
+	RatingSamples int
+	MeanRating    float64 // SentinelOff when RatingSamples == 0
+}
+
+// SummarizeTimeline folds a timeline into a TimelineSummary, skipping
+// the SentinelOff values of unmeasured optional metrics.
+func SummarizeTimeline(tl []Snapshot) TimelineSummary {
+	s := TimelineSummary{
+		Samples:           len(tl),
+		MinGiant:          1,
+		MeanSearchSuccess: SentinelOff,
+		MinSearchSuccess:  SentinelOff,
+		MeanRating:        SentinelOff,
+	}
+	if len(tl) == 0 {
+		s.MinGiant = 0
+		return s
+	}
+	var giantSum, degSum, searchSum, ratingSum float64
+	for _, snap := range tl {
+		giantSum += snap.GiantFraction
+		degSum += snap.MeanDegree
+		if snap.GiantFraction < s.MinGiant {
+			s.MinGiant = snap.GiantFraction
+		}
+		if MetricOn(snap.SearchSuccess) {
+			s.SearchSamples++
+			searchSum += snap.SearchSuccess
+			if s.MinSearchSuccess == SentinelOff || snap.SearchSuccess < s.MinSearchSuccess {
+				s.MinSearchSuccess = snap.SearchSuccess
+			}
+		}
+		if MetricOn(snap.MeanRating) {
+			s.RatingSamples++
+			ratingSum += snap.MeanRating
+		}
+	}
+	s.MeanGiant = giantSum / float64(len(tl))
+	s.MeanDegree = degSum / float64(len(tl))
+	if s.SearchSamples > 0 {
+		s.MeanSearchSuccess = searchSum / float64(s.SearchSamples)
+	}
+	if s.RatingSamples > 0 {
+		s.MeanRating = ratingSum / float64(s.RatingSamples)
+	}
+	return s
+}
+
+// FmtPercent renders a rate metric as a percentage, or "off" for the
+// unmeasured sentinel — for timeline tables.
+func FmtPercent(v float64) string {
+	if !MetricOn(v) {
+		return "off"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+// FmtRating renders a mean link rating, or "off" for the sentinel.
+func FmtRating(v float64) string {
+	if !MetricOn(v) {
+		return "off"
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -103,8 +103,11 @@ func (n *Node) pushFilters() {
 	}
 }
 
-// handleFilterPush stores a neighbor's hierarchy.
-func (n *Node) handleFilterPush(from string, payload []byte) {
+// handleFilterPush stores a neighbor's hierarchy. The registration
+// check (under the node lock, same order as rebuildOwn) keeps a push
+// racing the link's eviction from resurrecting an entry dropLink just
+// cleaned.
+func (n *Node) handleFilterPush(l *link, payload []byte) {
 	var f bloom.Attenuated
 	if err := f.UnmarshalBinary(payload); err != nil {
 		return
@@ -112,9 +115,13 @@ func (n *Node) handleFilterPush(from string, payload []byte) {
 	if f.Depth() != abfLevels {
 		return
 	}
-	n.abf.mu.Lock()
-	n.abf.received[from] = &f
-	n.abf.mu.Unlock()
+	n.mu.Lock()
+	if cur, ok := n.conns[l.addr]; ok && cur == l {
+		n.abf.mu.Lock()
+		n.abf.received[l.addr] = &f
+		n.abf.mu.Unlock()
+	}
+	n.mu.Unlock()
 }
 
 // directedQueryPayload is the greedy identifier query: object, hop
@@ -183,6 +190,7 @@ func decodeDirectedQuery(b []byte) (directedQueryPayload, error) {
 // gradient with the given hop budget. The hit (if any) arrives on
 // Hits(). Returns the query id.
 func (n *Node) IdentifierLookup(obj uint64, ttl int) uint64 {
+	ttl = clampTTL(ttl)
 	n.mu.Lock()
 	id := n.rng.Uint64()
 	hasLocal := n.store[obj]

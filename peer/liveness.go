@@ -1,0 +1,174 @@
+package peer
+
+import (
+	"time"
+)
+
+// This file implements failure detection and recovery for live links:
+// ping nonces get deadlines, consecutive missed pongs mark a link
+// suspect and then evict it (suspect -> evict lifecycle), evictions
+// feed the dial backoff and kick an immediate management round, and
+// Kill simulates a silent crash for fault-injection tests. The clean
+// departure path (msgBye) never enters this machinery — it exists for
+// the peers that die without saying goodbye.
+
+// sweepLiveness expires outstanding ping nonces past PingTimeout,
+// advances the per-link missed counters, and evicts links that reached
+// EvictMisses. Evicted addresses go on dial backoff: the peer is
+// presumed dead, so immediate re-dial would only burn a timeout.
+func (n *Node) sweepLiveness() {
+	now := time.Now()
+	var victims []*link
+	n.mu.Lock()
+	for nonce, ref := range n.pingT {
+		if now.Sub(ref.at) <= n.cfg.PingTimeout {
+			continue
+		}
+		delete(n.pingT, nonce)
+		l, ok := n.conns[ref.addr]
+		if !ok {
+			continue // link already gone; the nonce was the leak
+		}
+		l.missed++
+		if l.missed >= n.cfg.SuspectMisses {
+			l.suspect = true
+		}
+		// >= with the byManager latch: several nonces can expire in
+		// one sweep, stepping missed past the threshold.
+		if l.missed >= n.cfg.EvictMisses && !l.byManager {
+			l.byManager = true
+			victims = append(victims, l)
+		}
+	}
+	n.mu.Unlock()
+	for _, l := range victims {
+		// No Bye: the peer is presumed dead. Closing our side frees
+		// the socket; if the peer is actually alive it will observe
+		// the loss and both ends re-enter the overlay via refill.
+		n.dropLink(l)
+		n.noteDialFailure(l.addr)
+		n.bumpEvictions()
+	}
+	if len(victims) > 0 {
+		n.kickManage()
+	}
+}
+
+// noteDialFailure records one more consecutive failure for addr and
+// schedules the next retry with capped exponential backoff plus
+// jitter. After DialMaxFails consecutive failures the address is
+// dropped from the host cache entirely.
+func (n *Node) noteDialFailure(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	b := n.backoff[addr]
+	if b == nil {
+		b = &dialBackoff{}
+		n.backoff[addr] = b
+	}
+	b.fails++
+	if b.fails >= n.cfg.DialMaxFails {
+		delete(n.cache, addr)
+		delete(n.backoff, addr)
+		return
+	}
+	delay := n.cfg.DialBackoffBase << uint(b.fails-1)
+	if delay > n.cfg.DialBackoffMax || delay <= 0 {
+		delay = n.cfg.DialBackoffMax
+	}
+	// Jitter in [delay/2, delay): de-synchronizes a cohort of
+	// survivors all retrying the same dead peer.
+	jittered := delay/2 + time.Duration(n.rng.Int63n(int64(delay/2)+1))
+	b.until = time.Now().Add(jittered)
+}
+
+// noteDialSuccess clears the backoff state for addr.
+func (n *Node) noteDialSuccess(addr string) {
+	n.mu.Lock()
+	delete(n.backoff, addr)
+	n.mu.Unlock()
+}
+
+// bumpEvictions counts a liveness-triggered link loss.
+func (n *Node) bumpEvictions() {
+	n.mu.Lock()
+	n.evictions++
+	n.mu.Unlock()
+}
+
+// kickManage requests an immediate management round (refill, prune)
+// without waiting for the next tick. Non-blocking; extra kicks while
+// one is pending coalesce.
+func (n *Node) kickManage() {
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Kill simulates a crash for fault-injection tests: all loops stop,
+// no Bye is sent, and the TCP connections are left dangling without a
+// FIN from our side — peers must detect the death through their own
+// liveness machinery, exactly as with a dead kernel. Call Close
+// afterwards to reap the leaked sockets once assertions are done.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.killed = true
+	for _, l := range n.conns {
+		// Unwedge the reader goroutine without closing the socket
+		// (dropLink sees killed and leaves the connection dangling).
+		// Flag and deadline go together under mu: the readLoop arms its
+		// idle deadline in the same critical section, so it either sees
+		// dying and exits or its deadline is the one we overwrite here
+		// — otherwise a reader between frames could re-arm after our
+		// poke and, fed by a still-alive peer's pings, read forever.
+		l.dying = true
+		l.c.SetReadDeadline(time.Now())
+	}
+	n.mu.Unlock()
+	close(n.stop)
+	n.ln.Close()
+	n.wg.Wait()
+}
+
+// LinkStats is a point-in-time view of the liveness and recovery
+// machinery, for tests and operational introspection.
+type LinkStats struct {
+	Links            int    // current neighbor count
+	Suspects         int    // links with >= SuspectMisses missed pongs
+	OutstandingPings int    // ping nonces awaiting a pong
+	Evictions        uint64 // links dropped for liveness since start
+	HostCache        int    // host cache size (bounded by HostCacheCap)
+	BackoffEntries   int    // addresses in a dial-backoff window
+	Views            int    // stored neighbor views (== Links when healthy)
+	RTTs             int    // stored RTT samples (<= Links when healthy)
+}
+
+// Stats snapshots the liveness state.
+func (n *Node) Stats() LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := LinkStats{
+		Links:            len(n.conns),
+		OutstandingPings: len(n.pingT),
+		Evictions:        n.evictions,
+		HostCache:        len(n.cache),
+		BackoffEntries:   len(n.backoff),
+		Views:            len(n.views),
+		RTTs:             len(n.rtt),
+	}
+	for _, l := range n.conns {
+		if l.suspect {
+			s.Suspects++
+		}
+	}
+	return s
+}

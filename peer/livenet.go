@@ -1,0 +1,306 @@
+package peer
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the live-network twin of internal/sim's churn harness:
+// a Cluster of in-process nodes over real (or fault-injected) sockets,
+// with the same health metrics the simulator snapshots — live count,
+// connected components, giant-component fraction, mean degree and
+// flood search success — so live-churn experiments emit a timeline
+// directly comparable to the simulated one.
+
+// ClusterSnapshot is one sample of live-overlay health. Fields mirror
+// internal/sim.Snapshot; SearchSuccess is -1 when probing is off.
+type ClusterSnapshot struct {
+	Time          float64 // seconds since cluster start
+	Live          int
+	Components    int
+	GiantFraction float64
+	MeanDegree    float64
+	SearchSuccess float64
+}
+
+// Cluster is a set of live in-process nodes plus bookkeeping for
+// fault-injection experiments.
+type Cluster struct {
+	start time.Time
+
+	mu      sync.Mutex
+	nodes   []*Node
+	down    map[int]bool       // killed or closed
+	holders map[uint64]int     // object -> hosting node index
+}
+
+// StartCluster launches n live nodes. transport(i) supplies each
+// node's Transport (nil means plain TCP — pass a faultnet Endpoint to
+// inject faults); cfg seeds are varied per node. Every node past the
+// first connects to two earlier nodes; the management loop's refill
+// then grows the overlay to capacity, so the caller should wait for
+// convergence via Snapshot.
+func StartCluster(n int, cfg Config, transport func(i int) Transport) (*Cluster, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("peer: cluster needs at least 2 nodes")
+	}
+	c := &Cluster{
+		start:   time.Now(),
+		down:    make(map[int]bool),
+		holders: make(map[uint64]int),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed*7919 + 1))
+	for i := 0; i < n; i++ {
+		nodeCfg := cfg
+		nodeCfg.Seed = cfg.Seed + int64(i)*1000003
+		if transport != nil {
+			nodeCfg.Transport = transport(i)
+		}
+		nd, err := Start("127.0.0.1:0", nodeCfg)
+		if err != nil {
+			c.CloseAll()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, nd)
+		if i > 0 {
+			nd.Connect(c.nodes[rng.Intn(i)].Addr())
+			if i > 1 {
+				nd.Connect(c.nodes[rng.Intn(i)].Addr())
+			}
+		}
+	}
+	return c, nil
+}
+
+// Len returns the cluster size (including dead nodes).
+func (c *Cluster) Len() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Kill hard-crashes node i: no Bye, no FIN — survivors must detect
+// the death through their liveness machinery.
+func (c *Cluster) Kill(i int) {
+	c.mu.Lock()
+	c.down[i] = true
+	c.mu.Unlock()
+	c.nodes[i].Kill()
+}
+
+// Shutdown closes node i gracefully (Bye to every neighbor).
+func (c *Cluster) Shutdown(i int) {
+	c.mu.Lock()
+	c.down[i] = true
+	c.mu.Unlock()
+	c.nodes[i].Close()
+}
+
+// CloseAll tears the whole cluster down.
+func (c *Cluster) CloseAll() {
+	for i, nd := range c.nodes {
+		c.mu.Lock()
+		c.down[i] = true
+		c.mu.Unlock()
+		nd.Close() // after Kill this reaps dangling sockets
+	}
+}
+
+// Alive reports whether node i has not been killed or shut down.
+func (c *Cluster) Alive(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.down[i]
+}
+
+// AliveIndices returns the indices of nodes still running.
+func (c *Cluster) AliveIndices() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for i := range c.nodes {
+		if !c.down[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PlaceObjects gives every node one distinct object (base+i) so flood
+// probes have known targets.
+func (c *Cluster) PlaceObjects(base uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, nd := range c.nodes {
+		obj := base + uint64(i)
+		nd.AddObject(obj)
+		c.holders[obj] = i
+	}
+}
+
+// Snapshot samples the live overlay's health. Probing is off:
+// SearchSuccess is the simulator's -1 sentinel.
+func (c *Cluster) Snapshot() ClusterSnapshot {
+	alive := c.AliveIndices()
+	snap := ClusterSnapshot{
+		Time:          time.Since(c.start).Seconds(),
+		Live:          len(alive),
+		SearchSuccess: -1,
+	}
+	if len(alive) == 0 {
+		return snap
+	}
+	addrIdx := make(map[string]int, len(alive))
+	for _, i := range alive {
+		addrIdx[c.nodes[i].Addr()] = i
+	}
+	// Union-find over live-live edges from the current neighbor sets.
+	parent := make(map[int]int, len(alive))
+	for _, i := range alive {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	degSum := 0
+	for _, i := range alive {
+		nbs := c.nodes[i].Neighbors()
+		degSum += len(nbs)
+		for _, a := range nbs {
+			if j, ok := addrIdx[a]; ok {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	sizes := make(map[int]int)
+	giant := 0
+	for _, i := range alive {
+		r := find(i)
+		sizes[r]++
+		if sizes[r] > giant {
+			giant = sizes[r]
+		}
+	}
+	snap.Components = len(sizes)
+	snap.GiantFraction = float64(giant) / float64(len(alive))
+	snap.MeanDegree = float64(degSum) / float64(len(alive))
+	return snap
+}
+
+// ProbeQueries floods `probes` queries from random live sources for
+// random objects hosted on live nodes, and returns the success rate.
+// Each probe waits up to timeout for a hit with the matching query id.
+func (c *Cluster) ProbeQueries(probes, ttl int, timeout time.Duration, rng *rand.Rand) float64 {
+	alive := c.AliveIndices()
+	if len(alive) == 0 || probes <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	var liveObjs []uint64
+	for obj, holder := range c.holders {
+		if !c.down[holder] {
+			liveObjs = append(liveObjs, obj)
+		}
+	}
+	c.mu.Unlock()
+	if len(liveObjs) == 0 {
+		return 0
+	}
+	// Deterministic object order for the seeded rng (map iteration is
+	// randomized).
+	sortUint64s(liveObjs)
+	found := 0
+	for q := 0; q < probes; q++ {
+		src := c.nodes[alive[rng.Intn(len(alive))]]
+		obj := liveObjs[rng.Intn(len(liveObjs))]
+		if c.probeOne(src, obj, ttl, timeout) {
+			found++
+		}
+	}
+	return float64(found) / float64(probes)
+}
+
+// probeOne issues one flood query and waits for its hit.
+func (c *Cluster) probeOne(src *Node, obj uint64, ttl int, timeout time.Duration) bool {
+	// Drain stale hits from earlier probes.
+	for {
+		select {
+		case <-src.Hits():
+			continue
+		default:
+		}
+		break
+	}
+	id := src.Query(obj, ttl)
+	deadline := time.After(timeout)
+	for {
+		select {
+		case h := <-src.Hits():
+			if h.QueryID == id && h.Object == obj {
+				return true
+			}
+		case <-deadline:
+			return false
+		}
+	}
+}
+
+// CleanOf reports whether every live node's neighbor set is free of
+// the given addresses — i.e. the dead peers have been evicted
+// everywhere.
+func (c *Cluster) CleanOf(addrs []string) bool {
+	bad := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		bad[a] = true
+	}
+	for _, i := range c.AliveIndices() {
+		for _, nb := range c.nodes[i].Neighbors() {
+			if bad[nb] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LiveLinks enumerates the distinct live-live links as index pairs.
+func (c *Cluster) LiveLinks() [][2]int {
+	alive := c.AliveIndices()
+	addrIdx := make(map[string]int, len(alive))
+	for _, i := range alive {
+		addrIdx[c.nodes[i].Addr()] = i
+	}
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	for _, i := range alive {
+		for _, a := range c.nodes[i].Neighbors() {
+			j, ok := addrIdx[a]
+			if !ok {
+				continue
+			}
+			k := [2]int{i, j}
+			if j < i {
+				k = [2]int{j, i}
+			}
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+func sortUint64s(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package peer
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"makalu/peer/faultnet"
+)
+
+// waitCluster polls the cluster snapshot until cond holds or the
+// deadline passes (then fails with the last snapshot).
+func waitCluster(t *testing.T, c *Cluster, d time.Duration, cond func(ClusterSnapshot) bool) ClusterSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	var s ClusterSnapshot
+	for {
+		s = c.Snapshot()
+		if cond(s) {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not converge within %v: %+v", d, s)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestClusterFormsConnectedOverlay(t *testing.T) {
+	cfg := Config{Capacity: 3, ManageInterval: 150 * time.Millisecond, Seed: 7}
+	c, err := StartCluster(6, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseAll()
+	s := waitCluster(t, c, 15*time.Second, func(s ClusterSnapshot) bool {
+		return s.GiantFraction == 1.0 && s.MeanDegree >= 2
+	})
+	if s.Live != 6 || s.Components != 1 {
+		t.Fatalf("snapshot off: %+v", s)
+	}
+	if s.SearchSuccess != -1 {
+		t.Fatalf("probing is off, SearchSuccess must be the -1 sentinel, got %v", s.SearchSuccess)
+	}
+}
+
+// TestClusterSurvivesMassFailure is the acceptance test from the
+// failure-detection work: in a 20-node live network, hard-kill 30% of
+// the nodes (no Bye, no FIN — their traffic is black-holed by the
+// fault injector, so survivors get no EOF/RST either) and black-hole
+// 10% of the surviving links. Every survivor must evict its dead
+// neighbors within 5 management intervals, the surviving overlay must
+// re-form a giant component spanning 100% of live nodes, and flood
+// query success must return to its pre-failure level.
+func TestClusterSurvivesMassFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live-network integration test")
+	}
+	const (
+		nNodes   = 20
+		nKill    = 6 // 30%
+		interval = 250 * time.Millisecond
+	)
+	fn := faultnet.New(faultnet.Config{Seed: 42})
+	cfg := Config{
+		Capacity:       4,
+		ManageInterval: interval,
+		Seed:           42,
+		DialTimeout:    500 * time.Millisecond,
+		// Tight liveness so eviction lands inside the 5-interval
+		// budget: a ping unanswered for one interval is one miss, two
+		// misses evict.
+		PingTimeout:     interval,
+		SuspectMisses:   1,
+		EvictMisses:     2,
+		IdleTimeout:     8 * interval,
+		DialBackoffBase: interval,
+		DialMaxFails:    4,
+	}
+	c, err := StartCluster(nNodes, cfg, func(i int) Transport { return fn.Endpoint() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseAll()
+
+	waitCluster(t, c, 30*time.Second, func(s ClusterSnapshot) bool {
+		return s.GiantFraction == 1.0 && s.MeanDegree >= 2.5
+	})
+	c.PlaceObjects(1000)
+	rng := rand.New(rand.NewSource(99))
+
+	pre := probeAvoiding(c, rng, 20, nil)
+	if pre < 1.0 {
+		t.Fatalf("pre-failure query success %.2f, want 1.0", pre)
+	}
+
+	// Hard-kill every third node. Isolate first so the kill's socket
+	// teardown cannot leak a FIN/RST to survivors: from their point of
+	// view the peers simply go silent, like a crashed kernel behind a
+	// dead link.
+	kill := []int{0, 3, 6, 9, 12, 15}[:nKill]
+	dead := make(map[int]bool)
+	var deadAddrs []string
+	for _, i := range kill {
+		dead[i] = true
+		deadAddrs = append(deadAddrs, c.Node(i).Addr())
+		fn.Isolate(c.Node(i).Addr())
+	}
+	for _, i := range kill {
+		c.Kill(i)
+	}
+
+	// Black-hole 10% of the surviving links (undetectable at the TCP
+	// layer: writes succeed, reads starve).
+	links := c.LiveLinks()
+	nCut := (len(links) + 9) / 10
+	cut := make(map[[2]int]bool)
+	for _, lk := range links[:nCut] {
+		cut[lk] = true
+		fn.CutLink(c.Node(lk[0]).Addr(), c.Node(lk[1]).Addr())
+	}
+	killedAt := time.Now()
+
+	// Acceptance: every survivor sheds its dead neighbors within 5
+	// management intervals (small grace for tick phase alignment).
+	evictDeadline := killedAt.Add(5*interval + interval/4)
+	for !c.CleanOf(deadAddrs) {
+		if time.Now().After(evictDeadline) {
+			for _, i := range c.AliveIndices() {
+				t.Logf("node %d neighbors: %v stats: %+v", i, c.Node(i).Neighbors(), c.Node(i).Stats())
+			}
+			t.Fatalf("dead neighbors still present %v after kill (budget %v)", time.Since(killedAt), 5*interval)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Logf("all dead neighbors evicted %v after kill", time.Since(killedAt))
+
+	// The survivors must re-form one component spanning all of them.
+	s := waitCluster(t, c, 30*time.Second, func(s ClusterSnapshot) bool {
+		return s.Live == nNodes-nKill && s.GiantFraction == 1.0
+	})
+	t.Logf("re-converged: %+v", s)
+
+	// Query success returns to the pre-failure level. Probes avoid
+	// source/holder pairs straddling a cut link: the flood still
+	// traverses the overlay, but the out-of-band hit delivery dials the
+	// originator directly and a black-holed direct dial can never
+	// complete — that pair is unreachable by design, not a recovery
+	// failure.
+	post := probeAvoiding(c, rng, 20, cut)
+	if post < pre {
+		t.Fatalf("query success did not recover: pre %.2f post %.2f", pre, post)
+	}
+
+	// Sanity on the detector's own accounting: survivors saw evictions,
+	// and nobody still lists a suspect link long after recovery.
+	var totalEvict uint64
+	for _, i := range c.AliveIndices() {
+		st := c.Node(i).Stats()
+		totalEvict += st.Evictions
+	}
+	if totalEvict == 0 {
+		t.Fatal("no liveness evictions recorded despite 6 hard-killed nodes")
+	}
+}
+
+// probeAvoiding floods probes from random live sources to random live
+// holders, skipping (source, holder) pairs that straddle a cut link.
+func probeAvoiding(c *Cluster, rng *rand.Rand, probes int, cut map[[2]int]bool) float64 {
+	alive := c.AliveIndices()
+	c.mu.Lock()
+	var objs []uint64
+	holders := make(map[uint64]int)
+	for obj, h := range c.holders {
+		if !c.down[h] {
+			objs = append(objs, obj)
+			holders[obj] = h
+		}
+	}
+	c.mu.Unlock()
+	sortUint64s(objs)
+	found := 0
+	for q := 0; q < probes; q++ {
+		var srcIdx int
+		var obj uint64
+		for {
+			srcIdx = alive[rng.Intn(len(alive))]
+			obj = objs[rng.Intn(len(objs))]
+			h := holders[obj]
+			k := [2]int{srcIdx, h}
+			if h < srcIdx {
+				k = [2]int{h, srcIdx}
+			}
+			if !cut[k] {
+				break
+			}
+		}
+		if c.probeOne(c.nodes[srcIdx], obj, 6, 2*time.Second) {
+			found++
+		}
+	}
+	return float64(found) / float64(probes)
+}

@@ -19,11 +19,84 @@ type Config struct {
 	// simulator. Defaults 1 and 1.
 	Alpha, Beta float64
 	// ManageInterval is the period of the management loop (neighbor
-	// pushes, pings, pruning). Default 200ms — fast, suited to tests;
-	// a deployment would use tens of seconds.
+	// pushes, pings, liveness sweep, pruning). Default 200ms — fast,
+	// suited to tests; a deployment would use tens of seconds.
 	ManageInterval time.Duration
 	// Seed drives the node's local randomness.
 	Seed int64
+
+	// Transport abstracts the network; nil means plain TCP. Tests
+	// inject peer/faultnet here.
+	Transport Transport
+	// DialTimeout bounds connection dials, handshake reads and frame
+	// writes. Default 3s.
+	DialTimeout time.Duration
+
+	// PingTimeout is how long an outstanding ping nonce may wait for
+	// its pong before counting as a missed probe. Default
+	// 2×ManageInterval.
+	PingTimeout time.Duration
+	// SuspectMisses consecutive missed pongs mark a link suspect;
+	// EvictMisses evict it (the peer is presumed dead — no Bye is
+	// sent) and trigger an immediate refill. Defaults 1 and 3.
+	SuspectMisses, EvictMisses int
+	// IdleTimeout is the per-read deadline: a link with no inbound
+	// traffic at all for this long is considered stalled mid-frame and
+	// evicted. Healthy links carry management traffic every interval,
+	// so the default of 10×ManageInterval only fires on real stalls.
+	IdleTimeout time.Duration
+
+	// Re-dial backoff: a failed dial to addr is retried no sooner than
+	// base<<(fails-1) later (capped at DialBackoffMax, jittered), and
+	// after DialMaxFails consecutive failures the address is dropped
+	// from the host cache. Defaults: ManageInterval, 16×base, 6.
+	DialBackoffBase time.Duration
+	DialBackoffMax  time.Duration
+	DialMaxFails    int
+	// HostCacheCap bounds the host cache; beyond it a random
+	// non-neighbor entry is evicted per insertion. Default 512.
+	HostCacheCap int
+}
+
+// withDefaults fills the zero-valued knobs.
+func (cfg Config) withDefaults() Config {
+	if cfg.Alpha == 0 && cfg.Beta == 0 {
+		cfg.Alpha, cfg.Beta = 1, 1
+	}
+	if cfg.ManageInterval <= 0 {
+		cfg.ManageInterval = 200 * time.Millisecond
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = tcpTransport{}
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.PingTimeout <= 0 {
+		cfg.PingTimeout = 2 * cfg.ManageInterval
+	}
+	if cfg.SuspectMisses <= 0 {
+		cfg.SuspectMisses = 1
+	}
+	if cfg.EvictMisses <= 0 {
+		cfg.EvictMisses = 3
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 10 * cfg.ManageInterval
+	}
+	if cfg.DialBackoffBase <= 0 {
+		cfg.DialBackoffBase = cfg.ManageInterval
+	}
+	if cfg.DialBackoffMax <= 0 {
+		cfg.DialBackoffMax = 16 * cfg.DialBackoffBase
+	}
+	if cfg.DialMaxFails <= 0 {
+		cfg.DialMaxFails = 6
+	}
+	if cfg.HostCacheCap <= 0 {
+		cfg.HostCacheCap = 512
+	}
+	return cfg
 }
 
 // DefaultNodeConfig returns a small-capacity test-friendly config.
@@ -41,25 +114,32 @@ type Hit struct {
 // Node is a live Makalu peer speaking the wire protocol over TCP.
 type Node struct {
 	cfg Config
+	tr  Transport
 	ln  net.Listener
 
-	mu      sync.Mutex
-	conns   map[string]*link    // by remote listen address
-	cache   map[string]bool     // host cache: every peer address ever learned
-	views   map[string][]string // last neighbor list pushed by each peer
-	rtt     map[string]float64  // measured RTT seconds
-	pingT   map[uint64]pingRef  // outstanding ping nonces
-	store   map[uint64]bool     // hosted objects
-	seen    map[uint64]bool     // query-id duplicate suppression
-	seenQ   []uint64            // FIFO for seen eviction
-	queries uint64              // queries forwarded (stats)
-	closed  bool
+	mu        sync.Mutex
+	conns     map[string]*link         // by remote listen address
+	cache     map[string]bool          // host cache: bounded sample of learned addresses
+	views     map[string][]string      // last neighbor list pushed by each peer
+	rtt       map[string]float64       // measured RTT seconds
+	pingT     map[uint64]pingRef       // outstanding ping nonces
+	backoff   map[string]*dialBackoff  // per-address re-dial state
+	dialing   map[string]bool          // dials in flight (refill dedup)
+	store     map[uint64]bool          // hosted objects
+	seen      map[uint64]bool          // query-id duplicate suppression
+	seenQ     []uint64                 // FIFO for seen eviction
+	queries   uint64                   // queries forwarded (stats)
+	evictions uint64                   // links dropped for liveness (stats)
+	closed    bool
+	killed    bool       // Kill() was called: crash semantics, no FIN
+	deadConns []net.Conn // connections left dangling by Kill, reaped by Close
 
 	hits chan Hit
 	abf  *abfState // attenuated-filter routing state (§4.6)
 	rng  *rand.Rand
 	wg   sync.WaitGroup
 	stop chan struct{}
+	kick chan struct{} // eviction happened: run a management round now
 }
 
 type pingRef struct {
@@ -67,20 +147,38 @@ type pingRef struct {
 	at   time.Time
 }
 
+// dialBackoff tracks consecutive dial failures to one address.
+type dialBackoff struct {
+	fails int
+	until time.Time
+}
+
 // link is one established neighbor connection.
 type link struct {
-	addr string // remote listen address (its identity)
-	c    net.Conn
-	w    *bufio.Writer
-	wmu  sync.Mutex
-	born time.Time // registration time, for the pruning grace period
+	addr     string // remote listen address (its identity)
+	c        net.Conn
+	w        *bufio.Writer
+	wmu      sync.Mutex
+	wtimeout time.Duration
+	born     time.Time // registration time, for the pruning grace period
+
+	// Liveness state, guarded by the owning Node's mu.
+	missed    int  // consecutive expired ping nonces
+	suspect   bool // missed >= SuspectMisses
+	byManager bool // dropped by prune/sweep; readLoop must not re-account it
+	dying     bool // Kill() fired: the readLoop must exit, not re-arm its deadline
 }
 
 func (l *link) send(kind byte, payload []byte) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
-	l.c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	l.c.SetWriteDeadline(time.Now().Add(l.wtimeout))
 	return writeFrame(l.w, kind, payload)
+}
+
+// newLink wraps an established connection.
+func (n *Node) newLink(addr string, c net.Conn) *link {
+	return &link{addr: addr, c: c, w: bufio.NewWriter(c), wtimeout: n.cfg.DialTimeout}
 }
 
 // Start launches a node listening on addr (use "127.0.0.1:0" for an
@@ -89,30 +187,29 @@ func Start(addr string, cfg Config) (*Node, error) {
 	if cfg.Capacity < 1 {
 		return nil, fmt.Errorf("peer: capacity must be >= 1")
 	}
-	if cfg.Alpha == 0 && cfg.Beta == 0 {
-		cfg.Alpha, cfg.Beta = 1, 1
-	}
-	if cfg.ManageInterval <= 0 {
-		cfg.ManageInterval = 200 * time.Millisecond
-	}
-	ln, err := net.Listen("tcp", addr)
+	cfg = cfg.withDefaults()
+	ln, err := cfg.Transport.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{
-		cfg:   cfg,
-		ln:    ln,
-		conns: make(map[string]*link),
-		cache: make(map[string]bool),
-		views: make(map[string][]string),
-		rtt:   make(map[string]float64),
-		pingT: make(map[uint64]pingRef),
-		store: make(map[uint64]bool),
-		seen:  make(map[uint64]bool),
-		hits:  make(chan Hit, 256),
-		abf:   newABFState(),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		stop:  make(chan struct{}),
+		cfg:     cfg,
+		tr:      cfg.Transport,
+		ln:      ln,
+		conns:   make(map[string]*link),
+		cache:   make(map[string]bool),
+		views:   make(map[string][]string),
+		rtt:     make(map[string]float64),
+		pingT:   make(map[uint64]pingRef),
+		backoff: make(map[string]*dialBackoff),
+		dialing: make(map[string]bool),
+		store:   make(map[uint64]bool),
+		seen:    make(map[uint64]bool),
+		hits:    make(chan Hit, 256),
+		abf:     newABFState(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		stop:    make(chan struct{}),
+		kick:    make(chan struct{}, 1),
 	}
 	n.wg.Add(2)
 	go n.acceptLoop()
@@ -152,11 +249,17 @@ func (n *Node) Degree() int {
 	return len(n.conns)
 }
 
-// Close shuts the node down, sending Bye to every neighbor.
+// Close shuts the node down, sending Bye to every neighbor. Calling
+// Close after Kill reaps the connections Kill left dangling.
 func (n *Node) Close() {
 	n.mu.Lock()
 	if n.closed {
+		dead := n.deadConns
+		n.deadConns = nil
 		n.mu.Unlock()
+		for _, c := range dead {
+			c.Close()
+		}
 		return
 	}
 	n.closed = true
@@ -194,7 +297,7 @@ func (n *Node) acceptLoop() {
 // frames until the connection dies.
 func (n *Node) handleInbound(c net.Conn) {
 	r := bufio.NewReader(c)
-	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	c.SetReadDeadline(time.Now().Add(n.cfg.DialTimeout))
 	f, err := readFrame(r)
 	if err != nil || f.kind != msgHello {
 		c.Close()
@@ -219,7 +322,10 @@ func (n *Node) handleInbound(c net.Conn) {
 		c.Close()
 		return
 	}
-	l := &link{addr: hello.Addr, c: c, w: bufio.NewWriter(c)}
+	// Label the transport connection with the dialer's identity so
+	// per-link fault rules (and future per-peer policies) apply.
+	tagConn(c, hello.Addr)
+	l := n.newLink(hello.Addr, c)
 	if err := l.send(msgHelloAck, nil); err != nil {
 		c.Close()
 		return
@@ -234,6 +340,9 @@ func (n *Node) handleInbound(c net.Conn) {
 
 // Connect dials a peer at addr, performs the handshake and registers
 // the link. Connecting to a known neighbor or to ourselves is a no-op.
+// Failures feed the re-dial backoff so the management loop retries
+// with capped exponential delays instead of hammering or forgetting
+// the address.
 func (n *Node) Connect(addr string) error {
 	if addr == n.Addr() {
 		return fmt.Errorf("peer: refusing self-connection")
@@ -244,26 +353,31 @@ func (n *Node) Connect(addr string) error {
 	if known {
 		return nil
 	}
-	c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	c, err := n.tr.DialTimeout("tcp", addr, n.cfg.DialTimeout)
 	if err != nil {
+		n.noteDialFailure(addr)
 		return err
 	}
-	l := &link{addr: addr, c: c, w: bufio.NewWriter(c)}
+	tagConn(c, addr)
+	l := n.newLink(addr, c)
 	if err := l.send(msgHello, encodeHello(helloPayload{Addr: n.Addr()})); err != nil {
 		c.Close()
+		n.noteDialFailure(addr)
 		return err
 	}
 	r := bufio.NewReader(c)
-	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	c.SetReadDeadline(time.Now().Add(n.cfg.DialTimeout))
 	f, err := readFrame(r)
 	if err != nil || f.kind != msgHelloAck {
 		c.Close()
+		n.noteDialFailure(addr)
 		return fmt.Errorf("peer: handshake with %s failed", addr)
 	}
 	if !n.register(l) {
 		c.Close()
 		return nil
 	}
+	n.noteDialSuccess(addr)
 	n.afterConnect(l)
 	n.wg.Add(1)
 	go func() {
@@ -287,7 +401,7 @@ func (n *Node) register(l *link) bool {
 	}
 	l.born = time.Now()
 	n.conns[l.addr] = l
-	n.cache[l.addr] = true
+	n.addToCacheLocked(l.addr)
 	return true
 }
 
@@ -299,11 +413,38 @@ func (n *Node) afterConnect(l *link) {
 	n.pruneIfNeeded()
 }
 
-// readLoop dispatches inbound frames for one link until it dies.
+// readLoop dispatches inbound frames for one link until it dies. A
+// link that ends without a Bye — read error, stall past IdleTimeout —
+// is treated as a peer failure: the address is put on dial backoff
+// and an immediate management round re-fills the neighborhood.
 func (n *Node) readLoop(l *link, r *bufio.Reader) {
-	defer n.dropLink(l)
+	clean := false
+	defer func() {
+		n.dropLink(l)
+		n.mu.Lock()
+		skip := clean || n.closed || l.byManager
+		n.mu.Unlock()
+		if !skip {
+			n.noteDialFailure(l.addr)
+			n.bumpEvictions()
+			n.kickManage()
+		}
+	}()
 	for {
-		l.c.SetReadDeadline(time.Now().Add(30 * time.Second))
+		// Arm the idle deadline under the lock: Kill sets l.dying and an
+		// immediate deadline in one critical section, so we either see
+		// dying here or our fresh deadline is the one Kill overwrites —
+		// re-arming after Kill's poke would leave this loop reading (and
+		// ponging!) forever on a link whose peer is still alive.
+		n.mu.Lock()
+		dying := l.dying
+		if !dying {
+			l.c.SetReadDeadline(time.Now().Add(n.cfg.IdleTimeout))
+		}
+		n.mu.Unlock()
+		if dying {
+			return
+		}
 		f, err := readFrame(r)
 		if err != nil {
 			return
@@ -312,10 +453,13 @@ func (n *Node) readLoop(l *link, r *bufio.Reader) {
 		case msgNeighbors:
 			if p, err := decodeNeighbors(f.payload); err == nil {
 				n.mu.Lock()
-				n.views[l.addr] = p.Addrs
-				for _, a := range p.Addrs {
-					if a != n.Addrlocked() {
-						n.cache[a] = true
+				// Only account registered links: a frame processed
+				// after the link was pruned must not resurrect state
+				// that dropLink already cleaned (the views/rtt leak).
+				if cur, ok := n.conns[l.addr]; ok && cur == l {
+					n.views[l.addr] = p.Addrs
+					for _, a := range p.Addrs {
+						n.addToCacheLocked(a)
 					}
 				}
 				n.mu.Unlock()
@@ -339,36 +483,60 @@ func (n *Node) readLoop(l *link, r *bufio.Reader) {
 			if p, err := decodePing(f.payload); err == nil {
 				n.mu.Lock()
 				if ref, ok := n.pingT[p.Nonce]; ok && ref.addr == l.addr {
-					n.rtt[l.addr] = time.Since(ref.at).Seconds()
 					delete(n.pingT, p.Nonce)
+					// Same guard as above: a pong racing the link's
+					// eviction must not resurrect a stale RTT entry.
+					if cur, ok := n.conns[l.addr]; ok && cur == l {
+						n.rtt[l.addr] = time.Since(ref.at).Seconds()
+						l.missed = 0
+						l.suspect = false
+					}
 				}
 				n.mu.Unlock()
 			}
 		case msgFilterPush:
-			n.handleFilterPush(l.addr, f.payload)
+			n.handleFilterPush(l, f.payload)
 		case msgDirectedQuery:
 			if q, err := decodeDirectedQuery(f.payload); err == nil {
 				n.handleDirectedQuery(q)
 			}
 		case msgBye:
+			clean = true
 			return
 		}
 	}
 }
 
-// dropLink removes a dead or pruned link from the tables.
+// dropLink removes a dead or pruned link and every piece of per-peer
+// state tied to it: neighbor view, RTT, outstanding ping nonces and
+// the received filter hierarchy. After Kill the raw connection is left
+// open (crash semantics — no FIN) and reaped by Close.
 func (n *Node) dropLink(l *link) {
-	l.c.Close()
 	n.mu.Lock()
 	if cur, ok := n.conns[l.addr]; ok && cur == l {
 		delete(n.conns, l.addr)
 		delete(n.views, l.addr)
 		delete(n.rtt, l.addr)
+		for nonce, ref := range n.pingT {
+			if ref.addr == l.addr {
+				delete(n.pingT, nonce)
+			}
+		}
+	}
+	killed := n.killed
+	if killed {
+		n.deadConns = append(n.deadConns, l.c)
 	}
 	n.mu.Unlock()
+	n.abf.mu.Lock()
+	delete(n.abf.received, l.addr)
+	n.abf.mu.Unlock()
+	if !killed {
+		l.c.Close()
+	}
 }
 
-// sendPing issues a latency probe on the link.
+// sendPing issues a latency/liveness probe on the link.
 func (n *Node) sendPing(l *link) {
 	n.mu.Lock()
 	nonce := n.rng.Uint64()
@@ -377,8 +545,10 @@ func (n *Node) sendPing(l *link) {
 	l.send(msgPing, encodePing(pingPayload{Nonce: nonce}))
 }
 
-// manageLoop is the periodic management round: push neighbor lists,
-// refresh pings, prune over capacity.
+// manageLoop is the periodic management round: sweep liveness, push
+// neighbor lists, refresh pings, refill, prune. An eviction elsewhere
+// kicks an immediate extra round so recovery does not wait a full
+// interval.
 func (n *Node) manageLoop() {
 	defer n.wg.Done()
 	t := time.NewTicker(n.cfg.ManageInterval)
@@ -388,55 +558,111 @@ func (n *Node) manageLoop() {
 		case <-n.stop:
 			return
 		case <-t.C:
-			nb := encodeNeighbors(neighborsPayload{Addrs: n.Neighbors()})
-			n.mu.Lock()
-			links := make([]*link, 0, len(n.conns))
-			for _, l := range n.conns {
-				links = append(links, l)
-			}
-			n.mu.Unlock()
-			for _, l := range links {
-				l.send(msgNeighbors, nb)
-				n.sendPing(l)
-			}
-			n.refillFromCache()
-			n.pruneIfNeeded()
-			// §4.6 maintenance: refresh and push the attenuated
-			// filter hierarchy after the topology settles this round.
-			n.rebuildOwn()
-			n.pushFilters()
+		case <-n.kick:
 		}
+		n.manageRound()
 	}
+}
+
+// manageRound runs one management round.
+func (n *Node) manageRound() {
+	n.sweepLiveness()
+	nb := encodeNeighbors(neighborsPayload{Addrs: n.Neighbors()})
+	n.mu.Lock()
+	links := make([]*link, 0, len(n.conns))
+	for _, l := range n.conns {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.send(msgNeighbors, nb)
+		n.sendPing(l)
+	}
+	n.refillFromCache()
+	n.pruneIfNeeded()
+	// §4.6 maintenance: refresh and push the attenuated filter
+	// hierarchy after the topology settles this round.
+	n.rebuildOwn()
+	n.pushFilters()
 }
 
 // refillFromCache dials host-cache candidates while the node is under
 // capacity — the self-healing a pruned or orphaned peer relies on.
+// Dials run asynchronously (the management loop must not block on a
+// partitioned address) and respect the per-address backoff.
 func (n *Node) refillFromCache() {
 	n.mu.Lock()
 	want := n.cfg.Capacity - len(n.conns)
 	var cands []string
 	if want > 0 {
+		now := time.Now()
 		for a := range n.cache {
-			if _, connected := n.conns[a]; !connected && a != n.Addrlocked() {
+			if n.canDialLocked(a, now) {
 				cands = append(cands, a)
 			}
 		}
 		n.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		if len(cands) > want {
+			cands = cands[:want]
+		}
+		for _, a := range cands {
+			n.dialing[a] = true
+		}
 	}
 	n.mu.Unlock()
 	for _, a := range cands {
-		if want <= 0 {
-			return
-		}
-		if err := n.Connect(a); err == nil {
-			want--
-		} else {
-			// Unreachable: forget it so the cache stays live.
+		addr := a
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.Connect(addr) // success/failure bookkeeping inside
 			n.mu.Lock()
-			delete(n.cache, a)
+			delete(n.dialing, addr)
 			n.mu.Unlock()
+		}()
+	}
+}
+
+// canDialLocked reports whether addr is a refill candidate right now:
+// not us, not connected, no dial in flight, not inside its backoff
+// window. Callers hold n.mu.
+func (n *Node) canDialLocked(addr string, now time.Time) bool {
+	if addr == n.Addrlocked() {
+		return false
+	}
+	if _, connected := n.conns[addr]; connected {
+		return false
+	}
+	if n.dialing[addr] {
+		return false
+	}
+	if b, ok := n.backoff[addr]; ok && now.Before(b.until) {
+		return false
+	}
+	return true
+}
+
+// addToCacheLocked inserts a learned address into the bounded host
+// cache, evicting a random non-neighbor entry when full. Callers hold
+// n.mu.
+func (n *Node) addToCacheLocked(addr string) {
+	if addr == "" || addr == n.Addrlocked() || n.cache[addr] {
+		return
+	}
+	if len(n.cache) >= n.cfg.HostCacheCap {
+		for a := range n.cache {
+			if _, connected := n.conns[a]; connected {
+				continue
+			}
+			delete(n.cache, a)
+			delete(n.backoff, a)
+			break
+		}
+		if len(n.cache) >= n.cfg.HostCacheCap {
+			return // cache full of live neighbors; skip
 		}
 	}
+	n.cache[addr] = true
 }
 
 // pruneIfNeeded applies the Makalu rating function and disconnects
@@ -447,6 +673,9 @@ func (n *Node) pruneIfNeeded() {
 		if victim == nil {
 			return
 		}
+		n.mu.Lock()
+		victim.byManager = true
+		n.mu.Unlock()
 		victim.send(msgBye, nil)
 		n.dropLink(victim)
 	}

@@ -14,6 +14,7 @@ const seenCap = 4096
 // query id. Results arrive asynchronously on Hits(); local store hits
 // are delivered immediately.
 func (n *Node) Query(obj uint64, ttl int) uint64 {
+	ttl = clampTTL(ttl)
 	n.mu.Lock()
 	id := n.rng.Uint64()
 	n.markSeenLocked(id)
@@ -111,11 +112,14 @@ func (n *Node) deliverHit(addr string, h hitPayload) {
 		l.send(msgQueryHit, encodeHit(h))
 		return
 	}
-	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	// Dial through the node's transport so fault injection applies to
+	// out-of-band hit delivery too.
+	c, err := n.tr.DialTimeout("tcp", addr, n.cfg.DialTimeout)
 	if err != nil {
 		return
 	}
 	defer c.Close()
+	tagConn(c, addr)
 	n.oneShotHit(c, h)
 }
 
@@ -134,9 +138,16 @@ func (n *Node) oneShotHit(c net.Conn, h hitPayload) {
 // closes; the accept path must not register it as a neighbor.
 const transientAddr = "!transient"
 
-// markSeenLocked records a query id with FIFO eviction. Callers hold
-// n.mu.
+// markSeenLocked records a query id with FIFO eviction. It is
+// idempotent: marking an id already in the cache must not append a
+// second FIFO entry, or len(seenQ) drifts past len(seen) and a later
+// eviction of the duplicate deletes the map entry while the id still
+// sits in the queue — the accounting skew the seen/seenQ invariant
+// test guards against. Callers hold n.mu.
 func (n *Node) markSeenLocked(id uint64) {
+	if n.seen[id] {
+		return
+	}
 	if len(n.seenQ) >= seenCap {
 		old := n.seenQ[0]
 		n.seenQ = n.seenQ[1:]

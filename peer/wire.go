@@ -30,6 +30,20 @@ const (
 // cannot make us allocate unbounded memory.
 const maxFrame = 1 << 20
 
+// maxTTL is the largest hop budget the wire format can carry (the TTL
+// field is one byte). Query APIs clamp to it: passing e.g. 300 used
+// to wrap to 44 through the uint8 conversion, silently crippling the
+// flood radius.
+const maxTTL = 255
+
+// clampTTL bounds a caller-supplied hop budget to the wire range.
+func clampTTL(ttl int) int {
+	if ttl > maxTTL {
+		return maxTTL
+	}
+	return ttl
+}
+
 // frame is one decoded wire message.
 type frame struct {
 	kind    byte
