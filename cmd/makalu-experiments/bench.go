@@ -10,31 +10,56 @@ import (
 	"time"
 
 	"makalu/internal/core"
+	"makalu/internal/experiments"
 	"makalu/internal/netmodel"
+	"makalu/internal/search"
+	"makalu/internal/topology"
 )
 
-// The -bench-json mode reruns the rating-engine micro-benchmarks
-// (internal/core/bench_test.go scenarios) through the public API and
-// writes a machine-readable report, so BENCH_core.json can be
-// committed next to the code as the performance trajectory record.
+// The -bench-json mode reruns the performance-critical kernels through
+// the public API and writes a machine-readable report, so
+// BENCH_core.json / BENCH_search.json can be committed next to the
+// code as the performance trajectory record. -bench-suite picks the
+// core (rating/prune/build) or search (query-batch engine) scenarios.
 
-// benchResult is one benchmark line of the report.
+// benchResult is one benchmark line of the report. GOMAXPROCS and
+// Workers are recorded per entry so serial and parallel figures in the
+// same file are self-describing: a workers=8 entry measured under
+// GOMAXPROCS=1 documents that no wall-clock speedup was physically
+// available when it was recorded.
 type benchResult struct {
 	Name       string             `json:"name"`
 	Iterations int                `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// benchReport is the BENCH_core.json document.
+// benchReport is the BENCH_*.json document.
 type benchReport struct {
 	GeneratedAt string        `json:"generated_at"`
 	GoVersion   string        `json:"go_version"`
 	GOMAXPROCS  int           `json:"gomaxprocs"`
+	NumCPU      int           `json:"num_cpu"`
+	Suite       string        `json:"suite"`
 	Benchmarks  []benchResult `json:"benchmarks"`
 }
 
-func buildBenchOverlay(n, deg int, full bool) (*core.Overlay, error) {
+func (rep *benchReport) add(name string, workers int, metrics map[string]float64, r testing.BenchmarkResult) {
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	rep.Benchmarks = append(rep.Benchmarks, benchResult{
+		Name:       name,
+		Iterations: r.N,
+		NsPerOp:    nsPerOp,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Metrics:    metrics,
+	})
+	fmt.Printf("%-44s %14.0f ns/op  (%d iterations)\n", name, nsPerOp, r.N)
+}
+
+func buildBenchOverlay(n, deg, workers int, full bool) (*core.Overlay, error) {
 	net := netmodel.NewEuclidean(n, 1000, 1)
 	cfg := core.DefaultConfig(net, 1)
 	if deg > 0 {
@@ -45,52 +70,90 @@ func buildBenchOverlay(n, deg int, full bool) (*core.Overlay, error) {
 		cfg.Capacities = caps
 	}
 	cfg.FullRecomputePrune = full
+	cfg.Workers = workers
 	return core.Build(n, cfg)
 }
 
-// runBenchJSON executes the benchmark suite and writes the report to
-// path. Scenarios mirror internal/core/bench_test.go: rating a node,
-// the batched RateAll pass, draining 10 excess links at mean degree
-// ≈ 30 on both prune engines, and full 2000-node construction on both.
-func runBenchJSON(path string) error {
+// runBenchJSON executes the selected benchmark suite and writes the
+// report to path.
+func runBenchJSON(path, suite string) error {
 	// Fail on an unwritable path now, not after minutes of benchmarking.
 	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
 	if err != nil {
 		return err
 	}
 	probe.Close()
-	rep := benchReport{
+	rep := &benchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Suite:       suite,
 	}
-	add := func(name string, metrics map[string]float64, r testing.BenchmarkResult) {
-		rep.Benchmarks = append(rep.Benchmarks, benchResult{
-			Name:       name,
-			Iterations: r.N,
-			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
-			Metrics:    metrics,
-		})
-		fmt.Printf("%-40s %12.0f ns/op  (%d iterations)\n",
-			name, float64(r.T.Nanoseconds())/float64(r.N), r.N)
+	switch suite {
+	case "core":
+		err = benchCore(rep)
+	case "search":
+		err = benchSearch(rep)
+	default:
+		return fmt.Errorf("unknown bench suite %q (core, search)", suite)
 	}
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[benchmark report written to %s]\n", path)
+	return nil
+}
 
-	o, err := buildBenchOverlay(2000, 0, false)
+// benchCore mirrors internal/core/bench_test.go: rating a node, the
+// batched RateAll pass serial and parallel, draining 10 excess links
+// at mean degree ≈ 30 on both prune engines, and full 2000-node
+// construction on both.
+func benchCore(rep *benchReport) error {
+	o, err := buildBenchOverlay(2000, 0, 0, false)
 	if err != nil {
 		return err
 	}
 	var buf []core.RatingInfo
-	add("RateNeighbors/n=2000", nil, testing.Benchmark(func(b *testing.B) {
+	rep.add("RateNeighbors/n=2000", 0, nil, testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			buf = o.RateNeighbors(i%2000, buf[:0])
 		}
 	}))
+
+	oSerial, err := buildBenchOverlay(2000, 0, 1, false)
+	if err != nil {
+		return err
+	}
 	var allBuf [][]core.RatingInfo
-	add("RateAll/n=2000", nil, testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			allBuf = o.RateAll(allBuf)
+	var rateAllNs [2]float64
+	for i, ov := range []*core.Overlay{oSerial, o} {
+		workers := 1
+		name := "RateAll/serial/n=2000"
+		if i == 1 {
+			workers = runtime.GOMAXPROCS(0)
+			name = "RateAll/parallel/n=2000"
 		}
-	}))
+		r := testing.Benchmark(func(b *testing.B) {
+			for it := 0; it < b.N; it++ {
+				allBuf = ov.RateAll(allBuf)
+			}
+		})
+		rateAllNs[i] = float64(r.T.Nanoseconds()) / float64(r.N)
+		var metrics map[string]float64
+		if i == 1 {
+			metrics = map[string]float64{"speedup-vs-serial": rateAllNs[0] / rateAllNs[1]}
+		}
+		rep.add(name, workers, metrics, r)
+	}
 
 	const (
 		pn     = 1000
@@ -99,7 +162,7 @@ func runBenchJSON(path string) error {
 	)
 	var pruneNs [2]float64
 	for i, full := range []bool{true, false} {
-		po, err := buildBenchOverlay(pn, deg, full)
+		po, err := buildBenchOverlay(pn, deg, 0, full)
 		if err != nil {
 			return err
 		}
@@ -131,7 +194,7 @@ func runBenchJSON(path string) error {
 			name = "PruneToCapacity/incremental"
 			metrics["speedup-vs-full"] = pruneNs[0] / pruneNs[1]
 		}
-		add(name, metrics, r)
+		rep.add(name, 0, metrics, r)
 	}
 
 	const bn = 2000
@@ -154,17 +217,124 @@ func runBenchJSON(path string) error {
 			name = "BuildOverlay/incremental"
 			metrics["speedup-vs-full"] = buildNs[0] / buildNs[1]
 		}
-		add(name, metrics, r)
+		rep.add(name, 0, metrics, r)
 	}
+	return nil
+}
 
-	out, err := json.MarshalIndent(&rep, "", "  ")
+// benchSearch measures the parallel query-batch engine on a 2000-node
+// Makalu overlay: each mechanism's 1000-query batch sequential
+// (workers=1) against the 8-worker sharded run, plus the walk kernel's
+// steady-state allocation count. Sequential and parallel entries carry
+// their worker counts so the speedup column is interpretable on any
+// recording machine.
+func benchSearch(rep *benchReport) error {
+	const (
+		n       = 2000
+		queries = 1000
+		ttl     = 4
+		par     = 8
+		seed    = 1
+	)
+	mk, err := experiments.BuildMakalu(n, seed)
 	if err != nil {
 		return err
 	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	store, err := experiments.PlaceObjects(n, 20, 0.01, seed+5)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("[benchmark report written to %s]\n", path)
+	g := mk.Graph
+
+	// seqVsPar records one mechanism's batch at workers=1 and workers=8
+	// and attaches the speedup to the parallel entry.
+	seqVsPar := func(name string, run func(workers int)) {
+		var ns [2]float64
+		for i, workers := range []int{1, par} {
+			w := workers
+			label := name + "/sequential"
+			if i == 1 {
+				label = fmt.Sprintf("%s/parallel-%d", name, par)
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				for it := 0; it < b.N; it++ {
+					run(w)
+				}
+			})
+			ns[i] = float64(r.T.Nanoseconds()) / float64(r.N)
+			metrics := map[string]float64{"queries/op": queries}
+			if i == 1 {
+				metrics["speedup-vs-sequential"] = ns[0] / ns[1]
+			}
+			rep.add(label, w, metrics, r)
+		}
+	}
+
+	seqVsPar("BatchFlood/n=2000", func(workers int) {
+		experiments.FloodBatch(g, store, ttl, queries, workers, seed+11)
+	})
+
+	walkCfg := search.DefaultWalkConfig()
+	walkCfg.MaxSteps = 256
+	seqVsPar("BatchRandomWalk/n=2000", func(workers int) {
+		br := &search.BatchRunner{Graph: g, Workers: workers, Seed: seed + 13}
+		br.Run(queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
+			obj := store.RandomObject(rng)
+			src := rng.Intn(n)
+			return k.Walker().Random(src, walkCfg, func(u int) bool { return store.Has(u, obj) }, rng)
+		})
+	})
+
+	ringCfg := search.RingConfig{StartTTL: 1, Step: 1, MaxTTL: 6}
+	seqVsPar("BatchExpandingRing/n=2000", func(workers int) {
+		br := &search.BatchRunner{Graph: g, Workers: workers, Seed: seed + 17}
+		br.Run(queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
+			obj := store.RandomObject(rng)
+			src := rng.Intn(n)
+			return search.ExpandingRing(k.Flooder(), src, ringCfg, func(u int) bool { return store.Has(u, obj) }, rng)
+		})
+	})
+
+	ttCfg := topology.DefaultTwoTier()
+	ttCfg.Seed = seed + 19
+	tt := topology.NewTwoTier(n, ttCfg)
+	ttg := tt.Graph.Freeze(nil)
+	seqVsPar("BatchTwoTierFlood/n=2000", func(workers int) {
+		if _, err := experiments.TwoTierFloodBatch(ttg, tt.IsUltra, store, 3, queries, workers, false, seed+23); err != nil {
+			panic(err)
+		}
+	})
+
+	abfNet, err := search.BuildABFNetwork(g, store, search.DefaultABFConfig())
+	if err != nil {
+		return err
+	}
+	seqVsPar("BatchABFLookup/n=2000", func(workers int) {
+		br := &search.BatchRunner{Graph: g, Workers: workers, Seed: seed + 29}
+		br.Run(queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
+			obj := store.RandomObject(rng)
+			src := rng.Intn(n)
+			return k.ABF(abfNet).Lookup(src, obj, 25, rng)
+		})
+	})
+
+	// Walk-kernel steady state: the epoch-stamped scratch must keep
+	// per-walk allocations at zero (the regression the batch engine's
+	// throughput depends on).
+	walker := search.NewWalker(g)
+	wrng := rand.New(rand.NewSource(seed + 31))
+	obj := store.RandomObject(wrng)
+	match := func(u int) bool { return store.Has(u, obj) }
+	walker.Random(0, walkCfg, match, wrng) // warm the scratch
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			walker.Random(i%n, walkCfg, match, wrng)
+		}
+	})
+	rep.add("WalkerRandomWalk/n=2000", 1, map[string]float64{
+		"allocs/op": float64(r.AllocsPerOp()),
+		"bytes/op":  float64(r.AllocedBytesPerOp()),
+	}, r)
 	return nil
 }

@@ -12,9 +12,16 @@
 // table2 (E10), resilience (E11), expansion (E12), low-replication
 // (E13), strategies (E14), convergence (E15), ratings (E16), all.
 //
-// -bench-json <path> skips the experiments and instead reruns the
-// rating-engine micro-benchmarks through the public API, writing a
-// machine-readable report (the committed BENCH_core.json).
+// -bench-json <path> skips the experiments and instead reruns a
+// micro-benchmark suite through the public API, writing a
+// machine-readable report; -bench-suite selects the rating-engine
+// scenarios (core → the committed BENCH_core.json) or the parallel
+// query-batch engine (search → the committed BENCH_search.json).
+//
+// -workers bounds the goroutines used for query batches and the
+// experiment-cell scheduler (0 = GOMAXPROCS, 1 = sequential); results
+// are identical at any setting. -cpuprofile/-memprofile write pprof
+// profiles of the run (see DESIGN.md's profiling note).
 //
 // -live-churn skips the experiments and runs the live TCP
 // fault-injection scenario: a real in-process network under the
@@ -26,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"makalu/internal/experiments"
@@ -38,14 +47,47 @@ func main() {
 		queries = flag.Int("queries", 300, "queries per measurement point")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		sources = flag.Int("sources", 500, "BFS/Dijkstra sources for path analysis (0 = exact)")
+		workers   = flag.Int("workers", 0, "goroutines for query batches and experiment cells (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
 		plotDir   = flag.String("plot", "", "write gnuplot .dat/.gp files for figures to this directory")
-		benchTo   = flag.String("bench-json", "", "run the core micro-benchmarks and write a JSON report to this path instead of experiments")
+		benchTo   = flag.String("bench-json", "", "run a micro-benchmark suite and write a JSON report to this path instead of experiments")
+		benchKind = flag.String("bench-suite", "core", "benchmark suite for -bench-json: core (rating engine) or search (query-batch engine)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 		liveChurn = flag.Bool("live-churn", false, "run the live TCP fault-injection scenario instead of experiments (uses -seed; scale with -live-nodes)")
 		liveNodes = flag.Int("live-nodes", 24, "node count for -live-churn")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 	if *benchTo != "" {
-		if err := runBenchJSON(*benchTo); err != nil {
+		if err := runBenchJSON(*benchTo, *benchKind); err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark run failed: %v\n", err)
 			os.Exit(1)
 		}
@@ -58,7 +100,7 @@ func main() {
 		}
 		return
 	}
-	opt := experiments.Options{N: *n, Queries: *queries, Seed: *seed}
+	opt := experiments.Options{N: *n, Queries: *queries, Seed: *seed, Workers: *workers}
 
 	type runner struct {
 		id  string

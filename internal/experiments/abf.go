@@ -42,35 +42,27 @@ func RunFigure4(opt Options) (*Figure4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		router := search.NewABFRouter(net)
-		rng := rand.New(rand.NewSource(opt.Seed + 41))
-		agg := search.NewAggregate()
-		msgCounts := make([]int, 0, opt.Queries)
-		for q := 0; q < opt.Queries; q++ {
+		br := &search.BatchRunner{Graph: mk.Graph, Workers: opt.Workers, Seed: opt.Seed + 41}
+		agg := br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 			obj := store.RandomObject(rng)
 			src := rng.Intn(opt.N)
-			r := router.Lookup(src, obj, res.MaxTTL, rng)
-			agg.Add(r)
-			if r.Success {
-				msgCounts = append(msgCounts, r.Messages)
-			}
-		}
+			return k.ABF(net).Lookup(src, obj, res.MaxTTL, rng)
+		})
+		// A successful lookup's message count equals its first-match hop
+		// (each hop is one message and the lookup returns on success),
+		// so the whole curve falls out of the aggregate's hop counter.
 		curve := ABFCurve{Replication: repl, Success: make([]float64, res.MaxTTL+1)}
 		for ttl := 0; ttl <= res.MaxTTL; ttl++ {
 			hits := 0
-			for _, m := range msgCounts {
-				if m <= ttl {
-					hits++
+			for _, h := range agg.Hops.Values() {
+				if h <= ttl {
+					hits += int(agg.Hops.Count(h))
 				}
 			}
 			curve.Success[ttl] = float64(hits) / float64(agg.Queries)
 		}
-		if len(msgCounts) > 0 {
-			sum := 0
-			for _, m := range msgCounts {
-				sum += m
-			}
-			curve.MeanMessages = float64(sum) / float64(len(msgCounts))
+		if agg.Successes > 0 {
+			curve.MeanMessages = agg.Hops.Mean()
 		}
 		res.Curves = append(res.Curves, curve)
 	}
@@ -128,7 +120,6 @@ func RunABFvsDHT(opt Options, replication float64) (*ABFvsDHTResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	router := search.NewABFRouter(net)
 	chord, err := dht.New(opt.N, opt.Seed+47)
 	if err != nil {
 		return nil, err
@@ -137,7 +128,6 @@ func RunABFvsDHT(opt Options, replication float64) (*ABFvsDHTResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 53))
 	res := &ABFvsDHTResult{
 		N:                 opt.N,
 		Replication:       replication,
@@ -145,24 +135,32 @@ func RunABFvsDHT(opt Options, replication float64) (*ABFvsDHTResult, error) {
 		KadStatePerNode:   kad.MeanContacts(),
 		ABFMemoryBytes:    net.MemoryBytes(),
 	}
-	abfSucc, abfMsgs := 0, 0
-	chordHops, kadHops := 0, 0
-	for q := 0; q < opt.Queries; q++ {
+	// ABF lookups run as a parallel batch; Chord and Kademlia lookups
+	// are deterministic given (src, obj), so a cheap sequential pass
+	// re-derives the same per-query (obj, src) pairs from the same
+	// query seeds and routes them through both DHTs.
+	br := &search.BatchRunner{Graph: mk.Graph, Workers: opt.Workers, Seed: opt.Seed + 53}
+	agg := br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 		obj := store.RandomObject(rng)
 		src := rng.Intn(opt.N)
-		r := router.Lookup(src, obj, 25, rng)
-		if r.Success {
-			abfSucc++
-			abfMsgs += r.Messages
-		}
+		return k.ABF(net).Lookup(src, obj, 25, rng)
+	})
+	res.ABFSuccess = agg.SuccessRate()
+	if agg.Successes > 0 {
+		// One message per hop and success returns immediately, so the
+		// per-success message mean is the first-match hop mean.
+		res.ABFMeanMsgs = agg.Hops.Mean()
+	}
+	chordHops, kadHops := 0, 0
+	rng := rand.New(rand.NewSource(0))
+	for q := 0; q < opt.Queries; q++ {
+		rng.Seed(search.QuerySeed(opt.Seed+53, q))
+		obj := store.RandomObject(rng)
+		src := rng.Intn(opt.N)
 		_, hops := chord.Lookup(src, obj)
 		chordHops += hops
 		_, khops := kad.Lookup(src, obj)
 		kadHops += khops
-	}
-	res.ABFSuccess = float64(abfSucc) / float64(opt.Queries)
-	if abfSucc > 0 {
-		res.ABFMeanMsgs = float64(abfMsgs) / float64(abfSucc)
 	}
 	res.ChordMeanHops = float64(chordHops) / float64(opt.Queries)
 	res.KadMeanHops = float64(kadHops) / float64(opt.Queries)

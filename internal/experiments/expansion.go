@@ -7,7 +7,6 @@ import (
 
 	"makalu/internal/dht"
 	"makalu/internal/netmodel"
-	"makalu/internal/search"
 )
 
 // ExpansionRow profiles one topology's neighborhood growth: the mean
@@ -45,8 +44,12 @@ func RunExpansion(opt Options) (*ExpansionResult, error) {
 		samples = opt.N
 	}
 	res := &ExpansionResult{N: opt.N, MaxHop: maxHop, Samples: samples}
-	rng := rand.New(rand.NewSource(opt.Seed + 71))
-	for _, nw := range nets {
+	res.Rows = make([]ExpansionRow, len(nets))
+	// One cell per topology, each with its own seed-derived rng so the
+	// sampled sources don't depend on which cells ran before it.
+	err = RunCells(opt.Workers, len(nets), func(i int) error {
+		nw := nets[i]
+		rng := rand.New(rand.NewSource(opt.Seed + 71 + int64(i)))
 		sums := make([]float64, maxHop+1)
 		for s := 0; s < samples; s++ {
 			src := rng.Intn(opt.N)
@@ -58,12 +61,16 @@ func RunExpansion(opt Options) (*ExpansionResult, error) {
 		for h := range sums {
 			sums[h] /= float64(samples)
 		}
-		res.Rows = append(res.Rows, ExpansionRow{
+		res.Rows[i] = ExpansionRow{
 			Topology:      nw.Name,
 			MeanPerHop:    sums,
 			Clustering:    nw.Graph.GlobalClusteringCoefficient(),
 			Assortativity: nw.Graph.DegreeAssortativity(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -119,7 +126,7 @@ func RunLowReplication(opt Options) (*LowReplicationResult, error) {
 	const ttl = 4
 	res := &LowReplicationResult{N: opt.N, Replication: 0.0001, TTL: ttl}
 
-	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Seed+79)
+	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Workers, opt.Seed+79)
 	res.MakaluSuccess = agg.SuccessRate()
 	res.MakaluMsgs = agg.MeanMessages()
 
@@ -130,14 +137,7 @@ func RunLowReplication(opt Options) (*LowReplicationResult, error) {
 	euc := netmodel.NewEuclidean(opt.N, 1000, opt.Seed)
 	sg := chord.OverlayGraph(func(u, v int) float64 { return euc.Latency(u, v) })
 	res.StructellaDiam = 0 // diameter only computed for small n; report hops instead
-	sAgg := search.NewAggregate()
-	fl := search.NewFlooder(sg)
-	rng := rand.New(rand.NewSource(opt.Seed + 89))
-	for q := 0; q < opt.Queries; q++ {
-		obj := store.RandomObject(rng)
-		src := rng.Intn(opt.N)
-		sAgg.Add(fl.Flood(src, ttl, func(u int) bool { return store.Has(u, obj) }))
-	}
+	sAgg := FloodBatch(sg, store, ttl, opt.Queries, opt.Workers, opt.Seed+89)
 	res.StructellaSucc = sAgg.SuccessRate()
 	res.StructellaMsgs = sAgg.MeanMessages()
 	return res, nil

@@ -8,8 +8,6 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"makalu/internal/content"
 	"makalu/internal/core"
@@ -24,6 +22,13 @@ type Options struct {
 	N       int   // network size
 	Queries int   // queries per measurement point
 	Seed    int64 // master seed; every derived component offsets it
+	// Workers bounds the goroutines used for query batches and for the
+	// cell scheduler that evaluates independent (topology, TTL,
+	// replication) cells concurrently. 0 means GOMAXPROCS, 1 forces
+	// fully sequential execution. Results are identical at any setting:
+	// every query's randomness derives from (batch seed, query index)
+	// and every cell writes only its own output slot.
+	Workers int
 }
 
 // DefaultOptions returns sizes that keep the full experiment suite in
@@ -97,49 +102,17 @@ func BuildAll(n int, seed int64) ([]*Network, error) {
 // FloodBatch runs `queries` flooding searches on g: each query picks a
 // uniform random object from the store and a uniform random source,
 // floods with the given TTL, and matches nodes hosting the object.
-// Queries fan out over GOMAXPROCS workers, each with its own Flooder.
-func FloodBatch(g *graph.Graph, store *content.Store, ttl, queries int, seed int64) *search.Aggregate {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > queries {
-		workers = queries
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	aggs := make([]*search.Aggregate, workers)
-	var wg sync.WaitGroup
-	per := (queries + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		count := per
-		if w == workers-1 {
-			count = queries - per*(workers-1)
-		}
-		if count <= 0 {
-			aggs[w] = search.NewAggregate()
-			continue
-		}
-		wg.Add(1)
-		go func(w, count int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
-			fl := search.NewFlooder(g)
-			agg := search.NewAggregate()
-			for q := 0; q < count; q++ {
-				obj := store.RandomObject(rng)
-				src := rng.Intn(g.N())
-				agg.Add(fl.Flood(src, ttl, func(u int) bool { return store.Has(u, obj) }))
-			}
-			aggs[w] = agg
-		}(w, count)
-	}
-	wg.Wait()
-	total := search.NewAggregate()
-	for _, a := range aggs {
-		if a != nil {
-			total.Merge(a)
-		}
-	}
-	return total
+// Queries run on the search.BatchRunner engine: sharded over `workers`
+// goroutines (0 = GOMAXPROCS), each owning a reusable Flooder kernel,
+// with per-query seeds derived from (seed, query index) so the
+// aggregate is identical at any worker count.
+func FloodBatch(g *graph.Graph, store *content.Store, ttl, queries, workers int, seed int64) *search.Aggregate {
+	br := &search.BatchRunner{Graph: g, Workers: workers, Seed: seed}
+	return br.Run(queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(g.N())
+		return k.Flooder().Flood(src, ttl, func(u int) bool { return store.Has(u, obj) })
+	})
 }
 
 // TwoTierFloodBatch is FloodBatch for the v0.6 two-tier topology.
@@ -147,7 +120,7 @@ func FloodBatch(g *graph.Graph, store *content.Store, ttl, queries int, seed int
 // forward the query to every neighbor, leaves included — the source
 // of the 38.4 fan-out); useQRP=true is the gated ablation, where each
 // leaf uploads a QRP table and only plausible matches are bothered.
-func TwoTierFloodBatch(g *graph.Graph, isUltra []bool, store *content.Store, ttl, queries int, useQRP bool, seed int64) (*search.Aggregate, error) {
+func TwoTierFloodBatch(g *graph.Graph, isUltra []bool, store *content.Store, ttl, queries, workers int, useQRP bool, seed int64) (*search.Aggregate, error) {
 	qrp := make([]*content.QRPTable, g.N())
 	if useQRP {
 		for u := 0; u < g.N(); u++ {
@@ -156,17 +129,18 @@ func TwoTierFloodBatch(g *graph.Graph, isUltra []bool, store *content.Store, ttl
 			}
 		}
 	}
-	fl, err := search.NewTwoTierFlooder(g, isUltra, qrp)
-	if err != nil {
+	// Validate the layout once up front; worker kernels then wire their
+	// own flooders from the same (now known-good) slices.
+	if _, err := search.NewTwoTierFlooder(g, isUltra, qrp); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	agg := search.NewAggregate()
-	for q := 0; q < queries; q++ {
+	br := &search.BatchRunner{Graph: g, Workers: workers, Seed: seed}
+	agg := br.Run(queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
+		fl, _ := k.TwoTier(isUltra, qrp)
 		obj := store.RandomObject(rng)
 		src := rng.Intn(g.N())
-		agg.Add(fl.Flood(src, ttl, obj, func(u int) bool { return store.Has(u, obj) }))
-	}
+		return fl.Flood(src, ttl, obj, func(u int) bool { return store.Has(u, obj) })
+	})
 	return agg, nil
 }
 
@@ -175,8 +149,8 @@ func TwoTierFloodBatch(g *graph.Graph, isUltra []bool, store *content.Store, ttl
 // that TTL. When no TTL reaches the target it returns maxTTL and its
 // aggregate. The derivation uses a single max-TTL batch: a flood
 // succeeds at TTL t iff its first match lies within t hops.
-func MinTTL(g *graph.Graph, store *content.Store, maxTTL, queries int, target float64, seed int64) (int, *search.Aggregate) {
-	full := FloodBatch(g, store, maxTTL, queries, seed)
+func MinTTL(g *graph.Graph, store *content.Store, maxTTL, queries, workers int, target float64, seed int64) (int, *search.Aggregate) {
+	full := FloodBatch(g, store, maxTTL, queries, workers, seed)
 	for ttl := 1; ttl < maxTTL; ttl++ {
 		hits := 0
 		for _, h := range full.Hops.Values() {
@@ -186,7 +160,7 @@ func MinTTL(g *graph.Graph, store *content.Store, maxTTL, queries int, target fl
 		}
 		if float64(hits)/float64(full.Queries) >= target {
 			// Re-measure message cost at this exact TTL.
-			return ttl, FloodBatch(g, store, ttl, queries, seed)
+			return ttl, FloodBatch(g, store, ttl, queries, workers, seed)
 		}
 	}
 	return maxTTL, full

@@ -45,33 +45,52 @@ func RunTable1(opt Options) (*Table1Result, error) {
 	const target = 0.95
 	const maxTTL = 12
 	objects := 20
-	for _, repl := range []float64{0.0005, 0.001, 0.005, 0.01} {
+	repls := []float64{0.0005, 0.001, 0.005, 0.01}
+	res.Rows = make([]Table1Row, len(repls))
+	for ri, repl := range repls {
+		res.Rows[ri].Replication = repl
+	}
+
+	// Every (replication, topology) pair is an independent cell: it
+	// builds its own store (deterministic from the seed, cheap next to
+	// the TTL sweep it feeds) and writes one Table1Cell slot, so the
+	// scheduler can interleave the expensive v0.6 sweeps with the
+	// cheaper flood cells. Query batches inside a cell stay sequential
+	// (Workers: 1) — the grid itself is the parallelism here, and
+	// nesting pools would oversubscribe the scheduler's own pool.
+	const topos = 3
+	err = RunCells(opt.Workers, len(repls)*topos, func(i int) error {
+		ri, ti := i/topos, i%topos
+		repl := repls[ri]
 		store, err := PlaceObjects(opt.N, objects, repl, opt.Seed+int64(repl*1e6))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := Table1Row{Replication: repl}
-
-		// Makalu and v0.4: plain flooding.
-		ttl, agg := MinTTL(byName[TopoMakalu].Graph, store, maxTTL, opt.Queries, target, opt.Seed+11)
-		row.MK = Table1Cell{MsgsPerQuery: agg.MeanMessages(), MinTTL: ttl, SuccessRate: agg.SuccessRate()}
-		ttl, agg = MinTTL(byName[TopoV04].Graph, store, maxTTL, opt.Queries, target, opt.Seed+13)
-		row.V04 = Table1Cell{MsgsPerQuery: agg.MeanMessages(), MinTTL: ttl, SuccessRate: agg.SuccessRate()}
-
-		// v0.6: two-tier flooding; sweep the core TTL directly.
-		v06 := byName[TopoV06]
-		found := false
-		for t := 1; t <= maxTTL && !found; t++ {
-			agg, err := TwoTierFloodBatch(v06.Graph, v06.IsUltra, store, t, opt.Queries, false, opt.Seed+17)
-			if err != nil {
-				return nil, err
-			}
-			if agg.SuccessRate() >= target || t == maxTTL {
-				row.V06 = Table1Cell{MsgsPerQuery: agg.MeanMessages(), MinTTL: t, SuccessRate: agg.SuccessRate()}
-				found = true
+		row := &res.Rows[ri]
+		switch ti {
+		case 0: // Makalu: plain flooding.
+			ttl, agg := MinTTL(byName[TopoMakalu].Graph, store, maxTTL, opt.Queries, 1, target, opt.Seed+11)
+			row.MK = Table1Cell{MsgsPerQuery: agg.MeanMessages(), MinTTL: ttl, SuccessRate: agg.SuccessRate()}
+		case 1: // v0.4: plain flooding.
+			ttl, agg := MinTTL(byName[TopoV04].Graph, store, maxTTL, opt.Queries, 1, target, opt.Seed+13)
+			row.V04 = Table1Cell{MsgsPerQuery: agg.MeanMessages(), MinTTL: ttl, SuccessRate: agg.SuccessRate()}
+		case 2: // v0.6: two-tier flooding; sweep the core TTL directly.
+			v06 := byName[TopoV06]
+			for t := 1; t <= maxTTL; t++ {
+				agg, err := TwoTierFloodBatch(v06.Graph, v06.IsUltra, store, t, opt.Queries, 1, false, opt.Seed+17)
+				if err != nil {
+					return err
+				}
+				if agg.SuccessRate() >= target || t == maxTTL {
+					row.V06 = Table1Cell{MsgsPerQuery: agg.MeanMessages(), MinTTL: t, SuccessRate: agg.SuccessRate()}
+					break
+				}
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -113,7 +132,7 @@ func RunDuplicates(opt Options, ttl int, replication float64) (*DuplicatesResult
 	if err != nil {
 		return nil, err
 	}
-	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Seed+19)
+	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Workers, opt.Seed+19)
 	return &DuplicatesResult{N: opt.N, TTL: ttl, Replication: replication, Agg: agg}, nil
 }
 
@@ -146,29 +165,49 @@ type Figure2Result struct {
 // sweep 100..maxN in half-decade steps.
 func RunFigure2(opt Options) (*Figure2Result, error) {
 	res := &Figure2Result{TTL: 4, Replication: 0.01}
-	sizes := []int{100, 200, 500, 1000, 2000, 5000, 10000, 100000}
-	var xs, ys []float64
-	for _, n := range sizes {
-		if n > opt.N {
-			break
-		}
+	sizes := sizesUpTo(opt.N)
+	res.Points = make([]ScalingPoint, len(sizes))
+	// One cell per network size: each builds its own overlay and store,
+	// so the small networks finish while the largest is still flooding.
+	err := RunCells(opt.Workers, len(sizes), func(i int) error {
+		n := sizes[i]
 		mk, err := BuildMakalu(n, opt.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		store, err := PlaceObjects(n, 20, res.Replication, opt.Seed+23)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		agg := FloodBatch(mk.Graph, store, res.TTL, opt.Queries, opt.Seed+29)
-		res.Points = append(res.Points, ScalingPoint{
+		agg := FloodBatch(mk.Graph, store, res.TTL, opt.Queries, 1, opt.Seed+29)
+		res.Points[i] = ScalingPoint{
 			N: n, MsgsPerQuery: agg.MeanMessages(), SuccessRate: agg.SuccessRate(),
-		})
-		xs = append(xs, float64(n))
-		ys = append(ys, agg.MeanMessages())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for _, p := range res.Points {
+		xs = append(xs, float64(p.N))
+		ys = append(ys, p.MsgsPerQuery)
 	}
 	res.LogLogSlope = stats.LogLogSlope(xs, ys)
 	return res, nil
+}
+
+// sizesUpTo filters the half-decade size sweep to at most maxN.
+func sizesUpTo(maxN int) []int {
+	all := []int{100, 200, 500, 1000, 2000, 5000, 10000, 100000}
+	var out []int
+	for _, n := range all {
+		if n > maxN {
+			break
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // Render formats the E6 series.
@@ -203,20 +242,19 @@ type Figure3Result struct {
 // first match lies within t hops.
 func RunFigure3(opt Options) (*Figure3Result, error) {
 	res := &Figure3Result{Replication: 0.01, MaxTTL: 4}
-	sizes := []int{100, 200, 500, 1000, 2000, 5000, 10000, 100000}
-	for _, n := range sizes {
-		if n > opt.N {
-			break
-		}
+	sizes := sizesUpTo(opt.N)
+	res.Curves = make([]SuccessCurve, len(sizes))
+	err := RunCells(opt.Workers, len(sizes), func(i int) error {
+		n := sizes[i]
 		mk, err := BuildMakalu(n, opt.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		store, err := PlaceObjects(n, 20, res.Replication, opt.Seed+31)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		agg := FloodBatch(mk.Graph, store, res.MaxTTL, opt.Queries, opt.Seed+37)
+		agg := FloodBatch(mk.Graph, store, res.MaxTTL, opt.Queries, 1, opt.Seed+37)
 		curve := SuccessCurve{N: n, Success: make([]float64, res.MaxTTL+1)}
 		for ttl := 0; ttl <= res.MaxTTL; ttl++ {
 			hits := 0
@@ -227,7 +265,11 @@ func RunFigure3(opt Options) (*Figure3Result, error) {
 			}
 			curve.Success[ttl] = float64(hits) / float64(agg.Queries)
 		}
-		res.Curves = append(res.Curves, curve)
+		res.Curves[i] = curve
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

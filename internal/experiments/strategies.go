@@ -45,42 +45,53 @@ func RunStrategies(opt Options) (*StrategiesResult, error) {
 		return nil, err
 	}
 	res := &StrategiesResult{N: opt.N, Queries: opt.Queries}
+	walkCfg := search.DefaultWalkConfig()
+	walkCfg.MaxSteps = 4 * 256
+	ringCfg := search.RingConfig{StartTTL: 1, Step: 1, MaxTTL: 6}
+	type strategy struct {
+		name string
+		run  func(k *search.Kernel, src int, match search.Matcher, rng *rand.Rand) search.Result
+	}
+	strategies := []strategy{
+		{"flood-ttl4", func(k *search.Kernel, src int, match search.Matcher, _ *rand.Rand) search.Result {
+			return k.Flooder().Flood(src, 4, match)
+		}},
+		{"random-walk-16", func(k *search.Kernel, src int, match search.Matcher, rng *rand.Rand) search.Result {
+			return k.Walker().Random(src, walkCfg, match, rng)
+		}},
+		{"degree-biased", func(k *search.Kernel, src int, match search.Matcher, rng *rand.Rand) search.Result {
+			return k.Walker().DegreeBiased(src, 1024, match, rng)
+		}},
+		{"expanding-ring", func(k *search.Kernel, src int, match search.Matcher, rng *rand.Rand) search.Result {
+			return search.ExpandingRing(k.Flooder(), src, ringCfg, match, rng)
+		}},
+	}
 	for _, nw := range nets {
 		if nw.Name != TopoMakalu && nw.Name != TopoV04 {
 			continue
 		}
-		g := nw.Graph
-		type strategy struct {
-			name string
-			run  func(src int, match search.Matcher, load []int64, rng *rand.Rand) search.Result
-		}
-		fl := search.NewFlooder(g)
-		ring := search.NewFlooder(g)
-		walkCfg := search.DefaultWalkConfig()
-		walkCfg.MaxSteps = 4 * 256
-		ringCfg := search.RingConfig{StartTTL: 1, Step: 1, MaxTTL: 6}
-		strategies := []strategy{
-			{"flood-ttl4", func(src int, match search.Matcher, load []int64, _ *rand.Rand) search.Result {
-				return fl.Flood(src, 4, loadCounting(match, load))
-			}},
-			{"random-walk-16", func(src int, match search.Matcher, load []int64, rng *rand.Rand) search.Result {
-				return search.RandomWalk(g, src, walkCfg, loadCounting(match, load), rng)
-			}},
-			{"degree-biased", func(src int, match search.Matcher, load []int64, rng *rand.Rand) search.Result {
-				return search.DegreeBiasedWalk(g, src, 1024, loadCounting(match, load), rng)
-			}},
-			{"expanding-ring", func(src int, match search.Matcher, load []int64, rng *rand.Rand) search.Result {
-				return search.ExpandingRing(ring, src, ringCfg, loadCounting(match, load), rng)
-			}},
-		}
 		for _, st := range strategies {
-			rng := rand.New(rand.NewSource(opt.Seed + 103))
-			load := make([]int64, opt.N)
-			agg := search.NewAggregate()
-			for q := 0; q < opt.Queries; q++ {
+			st := st
+			// The per-node load tally would race across workers, so each
+			// worker counts into its own slab (addressed by kern.Index)
+			// and the slabs are summed after the batch — addition
+			// commutes, so the merged tally is worker-count invariant.
+			br := &search.BatchRunner{Graph: nw.Graph, Workers: opt.Workers, Seed: opt.Seed + 103}
+			slabs := make([][]int64, br.WorkerCount(opt.Queries))
+			for w := range slabs {
+				slabs[w] = make([]int64, opt.N)
+			}
+			agg := br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 				obj := store.RandomObject(rng)
 				src := rng.Intn(opt.N)
-				agg.Add(st.run(src, func(u int) bool { return store.Has(u, obj) }, load, rng))
+				match := loadCounting(func(u int) bool { return store.Has(u, obj) }, slabs[k.Index])
+				return st.run(k, src, match, rng)
+			})
+			load := make([]int64, opt.N)
+			for _, slab := range slabs {
+				for u, v := range slab {
+					load[u] += v
+				}
 			}
 			res.Rows = append(res.Rows, StrategyRow{
 				Topology:         nw.Name,

@@ -1,0 +1,212 @@
+package search
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"makalu/internal/content"
+	"makalu/internal/graph"
+)
+
+// This file is the parallel query-batch engine: a BatchRunner shards a
+// batch of N independent queries across a fixed worker pool, each
+// worker owning one reusable scratch Kernel, and merges the per-worker
+// aggregates in worker order. Per-query randomness is derived
+// deterministically from (batch seed, query index), so the aggregate a
+// batch produces is *identical* at any worker count — Workers=1 is the
+// sequential oracle, Workers=8 the parallel run, and the golden tests
+// in batch_test.go pin their equality for every search mechanism.
+
+// QuerySeed derives the rng seed of query q in a batch seeded with
+// batchSeed. The mix is splitmix64-style so adjacent query indices get
+// statistically independent streams; crucially the seed depends only
+// on (batchSeed, q), never on which worker runs the query or how many
+// workers exist.
+func QuerySeed(batchSeed int64, q int) int64 {
+	x := uint64(batchSeed) + (uint64(q)+1)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}
+
+// Kernel is one worker's bundle of reusable per-query scratch engines.
+// Every engine is created lazily on first use and reused for the rest
+// of the batch, so steady-state queries allocate nothing. A Kernel is
+// confined to its worker goroutine and must not be shared.
+type Kernel struct {
+	// Index is the worker's position in [0, workers); batch callers
+	// use it to address per-worker side state (e.g. load tallies)
+	// without synchronization.
+	Index int
+
+	g       *graph.Graph
+	flooder *Flooder
+	gossip  *GossipFlooder
+	walker  *Walker
+	twoTier *TwoTierFlooder
+	abf     map[*ABFNetwork]*ABFRouter
+	perEdge map[*PerEdgeABFNetwork]*PerEdgeABFRouter
+}
+
+// Graph returns the frozen graph the kernel's engines run over.
+func (k *Kernel) Graph() *graph.Graph { return k.g }
+
+// Flooder returns the worker's reusable flooding kernel. The same
+// instance also backs expanding-ring batches (ExpandingRing takes a
+// *Flooder), so ring state reuses the flood scratch.
+func (k *Kernel) Flooder() *Flooder {
+	if k.flooder == nil {
+		k.flooder = NewFlooder(k.g)
+	}
+	return k.flooder
+}
+
+// Gossip returns the worker's reusable flood-then-gossip kernel.
+func (k *Kernel) Gossip() *GossipFlooder {
+	if k.gossip == nil {
+		k.gossip = NewGossipFlooder(k.g)
+	}
+	return k.gossip
+}
+
+// Walker returns the worker's reusable random/degree-biased walk
+// kernel (epoch-stamped seen sets, zero allocations per walk).
+func (k *Kernel) Walker() *Walker {
+	if k.walker == nil {
+		k.walker = NewWalker(k.g)
+	}
+	return k.walker
+}
+
+// TwoTier returns the worker's reusable v0.6 two-tier flooding kernel
+// for the given role/QRP layout. The layout is validated and cached on
+// first use; a batch runs one layout, so later calls reuse it.
+func (k *Kernel) TwoTier(isUltra []bool, qrp []*content.QRPTable) (*TwoTierFlooder, error) {
+	if k.twoTier == nil {
+		tt, err := NewTwoTierFlooder(k.g, isUltra, qrp)
+		if err != nil {
+			return nil, err
+		}
+		k.twoTier = tt
+	}
+	return k.twoTier, nil
+}
+
+// ABF returns the worker's reusable router over the shared-hierarchy
+// filter network, keyed by network so one kernel can serve batches
+// over several placements.
+func (k *Kernel) ABF(net *ABFNetwork) *ABFRouter {
+	if k.abf == nil {
+		k.abf = make(map[*ABFNetwork]*ABFRouter, 1)
+	}
+	r, ok := k.abf[net]
+	if !ok {
+		r = NewABFRouter(net)
+		k.abf[net] = r
+	}
+	return r
+}
+
+// PerEdgeABF returns the worker's reusable router over the per-edge
+// filter network.
+func (k *Kernel) PerEdgeABF(net *PerEdgeABFNetwork) *PerEdgeABFRouter {
+	if k.perEdge == nil {
+		k.perEdge = make(map[*PerEdgeABFNetwork]*PerEdgeABFRouter, 1)
+	}
+	r, ok := k.perEdge[net]
+	if !ok {
+		r = NewPerEdgeABFRouter(net)
+		k.perEdge[net] = r
+	}
+	return r
+}
+
+// QueryFunc executes query q with the worker-local kernel and the
+// query's deterministic rng, returning its Result. Implementations
+// must draw all randomness from rng and touch only the kernel plus
+// read-only shared state (or per-worker state addressed by
+// kern.Index).
+type QueryFunc func(kern *Kernel, q int, rng *rand.Rand) Result
+
+// BatchRunner runs batches of independent queries over one frozen
+// graph. The zero value of Workers selects GOMAXPROCS.
+type BatchRunner struct {
+	Graph   *graph.Graph
+	Workers int   // goroutines; <= 0 means GOMAXPROCS, 1 is sequential
+	Seed    int64 // batch seed; per-query seeds derive from (Seed, q)
+}
+
+// WorkerCount resolves the effective worker count for a batch of the
+// given size: the configured Workers (or GOMAXPROCS), never more than
+// the query count, never less than 1. Exposed so callers can size
+// per-worker side state before Run.
+func (br *BatchRunner) WorkerCount(queries int) int {
+	w := br.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > queries {
+		w = queries
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes queries 0..queries-1 via fn, sharding contiguous index
+// ranges over the worker pool, and returns the merged aggregate.
+// Per-worker aggregates are merged in worker order; together with the
+// per-query seed derivation this makes the output independent of the
+// worker count and of goroutine scheduling.
+func (br *BatchRunner) Run(queries int, fn QueryFunc) *Aggregate {
+	if queries <= 0 {
+		return NewAggregate()
+	}
+	workers := br.WorkerCount(queries)
+	if workers == 1 {
+		kern := &Kernel{g: br.Graph}
+		rng := rand.New(rand.NewSource(0))
+		agg := NewAggregate()
+		for q := 0; q < queries; q++ {
+			rng.Seed(QuerySeed(br.Seed, q))
+			agg.Add(fn(kern, q, rng))
+		}
+		return agg
+	}
+	aggs := make([]*Aggregate, workers)
+	per := (queries + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > queries {
+			hi = queries
+		}
+		if lo >= hi {
+			aggs[w] = NewAggregate()
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			kern := &Kernel{Index: w, g: br.Graph}
+			rng := rand.New(rand.NewSource(0))
+			agg := NewAggregate()
+			for q := lo; q < hi; q++ {
+				rng.Seed(QuerySeed(br.Seed, q))
+				agg.Add(fn(kern, q, rng))
+			}
+			aggs[w] = agg
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := NewAggregate()
+	for _, a := range aggs {
+		if a != nil {
+			total.Merge(a)
+		}
+	}
+	return total
+}

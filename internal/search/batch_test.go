@@ -1,0 +1,338 @@
+package search
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"makalu/internal/content"
+	"makalu/internal/graph"
+	"makalu/internal/topology"
+)
+
+// testGraph builds a connected ring-plus-chords graph: deterministic,
+// mean degree ≈ 6, small-world enough that every mechanism exercises
+// its interesting paths (duplicates, backtracking, walker collisions).
+func testGraph(n int) *graph.Graph {
+	g := graph.NewMutable(n)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+		for c := 0; c < 2; c++ {
+			j := rng.Intn(n)
+			if j != i {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g.Freeze(nil)
+}
+
+func testStore(t testing.TB, n int) *content.Store {
+	t.Helper()
+	store, err := content.Place(n, content.PlacementConfig{
+		Objects: 10, Replication: 0.02, MinReplicas: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// runBoth executes the same batch sequentially (Workers=1) and in
+// parallel (Workers=8) and asserts the aggregates are identical —
+// including the full hop and message distributions.
+func runBoth(t *testing.T, g *graph.Graph, queries int, fn QueryFunc) {
+	t.Helper()
+	seq := (&BatchRunner{Graph: g, Workers: 1, Seed: 42}).Run(queries, fn)
+	par := (&BatchRunner{Graph: g, Workers: 8, Seed: 42}).Run(queries, fn)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel aggregate diverged from sequential:\n  seq: %v\n  par: %v", seq, par)
+	}
+	if seq.Queries != queries {
+		t.Fatalf("aggregate covers %d queries, want %d", seq.Queries, queries)
+	}
+}
+
+func TestBatchFloodParallelMatchesSequential(t *testing.T) {
+	const n = 600
+	g := testGraph(n)
+	store := testStore(t, n)
+	runBoth(t, g, 200, func(k *Kernel, q int, rng *rand.Rand) Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return k.Flooder().Flood(src, 4, func(u int) bool { return store.Has(u, obj) })
+	})
+}
+
+func TestBatchWalkParallelMatchesSequential(t *testing.T) {
+	const n = 600
+	g := testGraph(n)
+	store := testStore(t, n)
+	cfg := WalkConfig{Walkers: 8, MaxSteps: 256, CheckInterval: 4}
+	runBoth(t, g, 200, func(k *Kernel, q int, rng *rand.Rand) Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return k.Walker().Random(src, cfg, func(u int) bool { return store.Has(u, obj) }, rng)
+	})
+}
+
+func TestBatchDegreeBiasedParallelMatchesSequential(t *testing.T) {
+	const n = 600
+	g := testGraph(n)
+	store := testStore(t, n)
+	runBoth(t, g, 200, func(k *Kernel, q int, rng *rand.Rand) Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return k.Walker().DegreeBiased(src, 256, func(u int) bool { return store.Has(u, obj) }, rng)
+	})
+}
+
+func TestBatchExpandingRingParallelMatchesSequential(t *testing.T) {
+	const n = 600
+	g := testGraph(n)
+	store := testStore(t, n)
+	cfg := RingConfig{StartTTL: 1, Step: 1, MaxTTL: 6, RandomizedStart: true}
+	runBoth(t, g, 200, func(k *Kernel, q int, rng *rand.Rand) Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return ExpandingRing(k.Flooder(), src, cfg, func(u int) bool { return store.Has(u, obj) }, rng)
+	})
+}
+
+func TestBatchTwoTierParallelMatchesSequential(t *testing.T) {
+	const n = 600
+	cfg := topology.DefaultTwoTier()
+	cfg.Seed = 5
+	tt := topology.NewTwoTier(n, cfg)
+	g := tt.Graph.Freeze(nil)
+	store := testStore(t, n)
+	qrp := make([]*content.QRPTable, n)
+	for u := 0; u < n; u++ {
+		if !tt.IsUltra[u] {
+			qrp[u] = content.BuildQRPTable(store, u, 1024, 3)
+		}
+	}
+	runBoth(t, g, 150, func(k *Kernel, q int, rng *rand.Rand) Result {
+		fl, err := k.TwoTier(tt.IsUltra, qrp)
+		if err != nil {
+			t.Error(err)
+			return Result{FirstMatchHop: -1}
+		}
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return fl.Flood(src, 3, obj, func(u int) bool { return store.Has(u, obj) })
+	})
+}
+
+func TestBatchABFLookupParallelMatchesSequential(t *testing.T) {
+	const n = 400
+	g := testGraph(n)
+	store := testStore(t, n)
+	net, err := BuildABFNetwork(g, store, DefaultABFConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBoth(t, g, 150, func(k *Kernel, q int, rng *rand.Rand) Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return k.ABF(net).Lookup(src, obj, 25, rng)
+	})
+}
+
+func TestBatchPerEdgeABFLookupParallelMatchesSequential(t *testing.T) {
+	const n = 200
+	g := testGraph(n)
+	store := testStore(t, n)
+	net, err := BuildPerEdgeABFNetwork(g, store, DefaultABFConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBoth(t, g, 100, func(k *Kernel, q int, rng *rand.Rand) Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return k.PerEdgeABF(net).Lookup(src, obj, 25, rng)
+	})
+}
+
+func TestBatchGossipParallelMatchesSequential(t *testing.T) {
+	const n = 600
+	g := testGraph(n)
+	store := testStore(t, n)
+	cfg := DefaultGossipConfig()
+	runBoth(t, g, 150, func(k *Kernel, q int, rng *rand.Rand) Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return k.Gossip().Flood(src, 4, cfg, func(u int) bool { return store.Has(u, obj) }, rng)
+	})
+}
+
+// The worker count must never change the aggregate, not just 1-vs-8.
+func TestBatchWorkerCountInvariance(t *testing.T) {
+	const n = 400
+	g := testGraph(n)
+	store := testStore(t, n)
+	fn := func(k *Kernel, q int, rng *rand.Rand) Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return k.Flooder().Flood(src, 3, func(u int) bool { return store.Has(u, obj) })
+	}
+	ref := (&BatchRunner{Graph: g, Workers: 1, Seed: 9}).Run(137, fn)
+	for _, w := range []int{2, 3, 5, 16, 1000} {
+		got := (&BatchRunner{Graph: g, Workers: w, Seed: 9}).Run(137, fn)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("Workers=%d diverged from sequential", w)
+		}
+	}
+}
+
+func TestBatchSeedChangesResults(t *testing.T) {
+	const n = 400
+	g := testGraph(n)
+	store := testStore(t, n)
+	fn := func(k *Kernel, q int, rng *rand.Rand) Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return k.Flooder().Flood(src, 3, func(u int) bool { return store.Has(u, obj) })
+	}
+	a := (&BatchRunner{Graph: g, Seed: 1}).Run(100, fn)
+	b := (&BatchRunner{Graph: g, Seed: 2}).Run(100, fn)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different batch seeds produced identical aggregates")
+	}
+}
+
+func TestBatchEmptyAndTiny(t *testing.T) {
+	g := testGraph(50)
+	fn := func(k *Kernel, q int, rng *rand.Rand) Result {
+		return k.Flooder().Flood(rng.Intn(50), 2, func(int) bool { return false })
+	}
+	if agg := (&BatchRunner{Graph: g, Workers: 8}).Run(0, fn); agg.Queries != 0 {
+		t.Fatalf("empty batch recorded %d queries", agg.Queries)
+	}
+	if agg := (&BatchRunner{Graph: g, Workers: 8}).Run(1, fn); agg.Queries != 1 {
+		t.Fatalf("singleton batch recorded %d queries", agg.Queries)
+	}
+}
+
+func TestQuerySeedDistinct(t *testing.T) {
+	seen := make(map[int64]int, 4096)
+	for q := 0; q < 4096; q++ {
+		s := QuerySeed(1, q)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("queries %d and %d share seed %d", prev, q, s)
+		}
+		seen[s] = q
+	}
+	if QuerySeed(1, 0) == QuerySeed(2, 0) {
+		t.Fatal("batch seed does not influence query seeds")
+	}
+}
+
+// The walk kernels must be allocation-free in steady state — this is
+// the regression gate for the map[int32]bool → epoch-array conversion.
+func TestWalkerZeroAllocSteadyState(t *testing.T) {
+	const n = 2000
+	g := testGraph(n)
+	w := NewWalker(g)
+	rng := rand.New(rand.NewSource(3))
+	cfg := WalkConfig{Walkers: 16, MaxSteps: 128, CheckInterval: 4}
+	match := func(int) bool { return false }
+	// Warm up so the walker-state slice reaches capacity.
+	w.Random(0, cfg, match, rng)
+	if avg := testing.AllocsPerRun(20, func() {
+		w.Random(rng.Intn(n), cfg, match, rng)
+	}); avg != 0 {
+		t.Fatalf("Walker.Random allocates %.1f/op in steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		w.DegreeBiased(rng.Intn(n), 128, match, rng)
+	}); avg != 0 {
+		t.Fatalf("Walker.DegreeBiased allocates %.1f/op in steady state, want 0", avg)
+	}
+}
+
+// Free-function wrappers must behave exactly like a fresh kernel.
+func TestWalkWrappersMatchKernel(t *testing.T) {
+	const n = 500
+	g := testGraph(n)
+	store := testStore(t, n)
+	cfg := WalkConfig{Walkers: 8, MaxSteps: 200, CheckInterval: 4}
+	obj := store.Objects()[0]
+	match := func(u int) bool { return store.Has(u, obj) }
+	a := RandomWalk(g, 3, cfg, match, rand.New(rand.NewSource(11)))
+	b := NewWalker(g).Random(3, cfg, match, rand.New(rand.NewSource(11)))
+	if a != b {
+		t.Fatalf("RandomWalk wrapper diverged: %+v vs %+v", a, b)
+	}
+	c := DegreeBiasedWalk(g, 3, 200, match, rand.New(rand.NewSource(12)))
+	d := NewWalker(g).DegreeBiased(3, 200, match, rand.New(rand.NewSource(12)))
+	if c != d {
+		t.Fatalf("DegreeBiasedWalk wrapper diverged: %+v vs %+v", c, d)
+	}
+}
+
+// BenchmarkWalkerRandomWalk is the allocation regression benchmark the
+// kernel conversion is gated on: 0 allocs/op in steady state.
+func BenchmarkWalkerRandomWalk(b *testing.B) {
+	const n = 2000
+	g := testGraph(n)
+	w := NewWalker(g)
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultWalkConfig()
+	cfg.MaxSteps = 256
+	match := func(int) bool { return false }
+	w.Random(0, cfg, match, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Random(i%n, cfg, match, rng)
+	}
+}
+
+// BenchmarkWalkerDegreeBiased tracks the single-walker variant.
+func BenchmarkWalkerDegreeBiased(b *testing.B) {
+	const n = 2000
+	g := testGraph(n)
+	w := NewWalker(g)
+	rng := rand.New(rand.NewSource(3))
+	match := func(int) bool { return false }
+	w.DegreeBiased(0, 256, match, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.DegreeBiased(i%n, 256, match, rng)
+	}
+}
+
+// BenchmarkBatchFlood measures the batch engine end to end at both
+// worker settings (the BENCH_search.json scenarios run the same pair
+// through the command; see cmd/makalu-experiments).
+func BenchmarkBatchFlood(b *testing.B) {
+	const n = 2000
+	g := testGraph(n)
+	store, err := content.Place(n, content.PlacementConfig{
+		Objects: 20, Replication: 0.01, MinReplicas: 1, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn := func(k *Kernel, q int, rng *rand.Rand) Result {
+		obj := store.RandomObject(rng)
+		src := rng.Intn(n)
+		return k.Flooder().Flood(src, 4, func(u int) bool { return store.Has(u, obj) })
+	}
+	for _, workers := range []int{1, 8} {
+		name := "sequential"
+		if workers > 1 {
+			name = "parallel-8"
+		}
+		b.Run(name, func(b *testing.B) {
+			br := &BatchRunner{Graph: g, Workers: workers, Seed: 42}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				br.Run(200, fn)
+			}
+		})
+	}
+}

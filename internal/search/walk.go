@@ -22,68 +22,36 @@ func DefaultWalkConfig() WalkConfig {
 	return WalkConfig{Walkers: 16, MaxSteps: 1024, CheckInterval: 4}
 }
 
-// DegreeBiasedWalk is the high-degree-seeking search of Adamic et al.
-// that §6 discusses: a single walker always moves to the
-// highest-degree unvisited neighbor (falling back to random when all
-// are visited), checking every node it passes. It exploits power-law
-// hubs — and concentrates query load on them, which is the burden the
-// paper's related-work section calls out. Messages count one per
-// step; the walk gives up after maxSteps.
-func DegreeBiasedWalk(g *graph.Graph, src, maxSteps int, match Matcher, rng *rand.Rand) Result {
-	res := Result{FirstMatchHop: -1}
-	res.Visited = 1
-	if match(src) {
-		res.Success = true
-		res.FirstMatchHop = 0
-		res.MatchesFound = 1
-		return res
-	}
-	visited := map[int32]bool{int32(src): true}
-	cur := src
-	for step := 1; step <= maxSteps; step++ {
-		nb := g.Neighbors(cur)
-		if len(nb) == 0 {
-			return res
-		}
-		next := int32(-1)
-		bestDeg := -1
-		for _, v := range nb {
-			if visited[v] {
-				continue
-			}
-			if d := g.Degree(int(v)); d > bestDeg {
-				bestDeg = d
-				next = v
-			}
-		}
-		if next == -1 {
-			// All neighbors visited: take a uniformly random step so
-			// the walk can escape local saturation.
-			next = nb[rng.Intn(len(nb))]
-		}
-		cur = int(next)
-		res.Messages++
-		if !visited[next] {
-			visited[next] = true
-			res.Visited++
-		}
-		if match(cur) {
-			res.Success = true
-			res.FirstMatchHop = step
-			res.MatchesFound = 1
-			return res
-		}
-	}
-	return res
+// Walker runs random-walk searches over a frozen graph, reusing
+// epoch-stamped scratch between queries so large batches stay
+// allocation-free (the seed implementation kept per-query
+// map[int32]bool visited sets; the epoch array replaces them the same
+// way Flooder's visited array works). Not safe for concurrent use;
+// create one Walker per worker.
+type Walker struct {
+	g     *graph.Graph
+	epoch int32
+	seen  []int32 // epoch when node was first seen by any walker
+	ws    []walkerState
 }
 
-// RandomWalk runs a k-walker search for a match from src. Each step
-// moves a walker to a uniformly random neighbor, avoiding an
-// immediate U-turn when the node has another choice. Messages count
-// one per step. Walkers run in lockstep rounds; when a walker
-// succeeds, the others keep walking until their next checkpoint, as
-// the checking protocol implies.
-func RandomWalk(g *graph.Graph, src int, cfg WalkConfig, match Matcher, rng *rand.Rand) Result {
+type walkerState struct {
+	at, prev int32
+	alive    bool
+}
+
+// NewWalker creates a Walker for g.
+func NewWalker(g *graph.Graph) *Walker {
+	return &Walker{g: g, seen: make([]int32, g.N())}
+}
+
+// Random runs a k-walker search for a match from src. Each step moves
+// a walker to a uniformly random neighbor, avoiding an immediate
+// U-turn when the node has another choice. Messages count one per
+// step. Walkers run in lockstep rounds; when a walker succeeds, the
+// others keep walking until their next checkpoint, as the checking
+// protocol implies.
+func (w *Walker) Random(src int, cfg WalkConfig, match Matcher, rng *rand.Rand) Result {
 	res := Result{FirstMatchHop: -1}
 	if cfg.Walkers <= 0 || cfg.MaxSteps <= 0 {
 		return res
@@ -98,16 +66,17 @@ func RandomWalk(g *graph.Graph, src int, cfg WalkConfig, match Matcher, rng *ran
 		res.MatchesFound = 1
 		return res
 	}
-	type walker struct {
-		at, prev int32
-		alive    bool
+	w.epoch++
+	ep := w.epoch
+	if cap(w.ws) < cfg.Walkers {
+		w.ws = make([]walkerState, cfg.Walkers)
 	}
-	ws := make([]walker, cfg.Walkers)
+	ws := w.ws[:cfg.Walkers]
 	for i := range ws {
-		ws[i] = walker{at: int32(src), prev: -1, alive: true}
+		ws[i] = walkerState{at: int32(src), prev: -1, alive: true}
 	}
-	seen := make(map[int32]bool, cfg.Walkers*8)
-	seen[int32(src)] = true
+	w.seen[src] = ep
+	g := w.g
 	stopAt := -1 // round at which all walkers stop (set at success checkpoint)
 	for step := 1; step <= cfg.MaxSteps; step++ {
 		if stopAt >= 0 && step > stopAt {
@@ -115,32 +84,32 @@ func RandomWalk(g *graph.Graph, src int, cfg WalkConfig, match Matcher, rng *ran
 		}
 		anyAlive := false
 		for i := range ws {
-			w := &ws[i]
-			if !w.alive {
+			wk := &ws[i]
+			if !wk.alive {
 				continue
 			}
-			nb := g.Neighbors(int(w.at))
+			nb := g.Neighbors(int(wk.at))
 			if len(nb) == 0 {
-				w.alive = false
+				wk.alive = false
 				continue
 			}
 			next := nb[rng.Intn(len(nb))]
-			if next == w.prev && len(nb) > 1 {
+			if next == wk.prev && len(nb) > 1 {
 				// avoid the immediate U-turn; one retry keeps the walk
 				// uniform enough without biasing long loops
 				next = nb[rng.Intn(len(nb))]
 			}
-			w.prev = w.at
-			w.at = next
+			wk.prev = wk.at
+			wk.at = next
 			res.Messages++
 			anyAlive = true
-			if !seen[next] {
-				seen[next] = true
+			if w.seen[next] != ep {
+				w.seen[next] = ep
 				res.Visited++
 			}
 			if match(int(next)) {
 				res.MatchesFound++
-				w.alive = false // this walker is done
+				wk.alive = false // this walker is done
 				if !res.Success {
 					res.Success = true
 					res.FirstMatchHop = step
@@ -154,4 +123,75 @@ func RandomWalk(g *graph.Graph, src int, cfg WalkConfig, match Matcher, rng *ran
 		}
 	}
 	return res
+}
+
+// DegreeBiased is the high-degree-seeking search of Adamic et al.
+// that §6 discusses: a single walker always moves to the
+// highest-degree unvisited neighbor (falling back to random when all
+// are visited), checking every node it passes. It exploits power-law
+// hubs — and concentrates query load on them, which is the burden the
+// paper's related-work section calls out. Messages count one per
+// step; the walk gives up after maxSteps.
+func (w *Walker) DegreeBiased(src, maxSteps int, match Matcher, rng *rand.Rand) Result {
+	res := Result{FirstMatchHop: -1}
+	res.Visited = 1
+	if match(src) {
+		res.Success = true
+		res.FirstMatchHop = 0
+		res.MatchesFound = 1
+		return res
+	}
+	w.epoch++
+	ep := w.epoch
+	w.seen[src] = ep
+	g := w.g
+	cur := src
+	for step := 1; step <= maxSteps; step++ {
+		nb := g.Neighbors(cur)
+		if len(nb) == 0 {
+			return res
+		}
+		next := int32(-1)
+		bestDeg := -1
+		for _, v := range nb {
+			if w.seen[v] == ep {
+				continue
+			}
+			if d := g.Degree(int(v)); d > bestDeg {
+				bestDeg = d
+				next = v
+			}
+		}
+		if next == -1 {
+			// All neighbors visited: take a uniformly random step so
+			// the walk can escape local saturation.
+			next = nb[rng.Intn(len(nb))]
+		}
+		cur = int(next)
+		res.Messages++
+		if w.seen[next] != ep {
+			w.seen[next] = ep
+			res.Visited++
+		}
+		if match(cur) {
+			res.Success = true
+			res.FirstMatchHop = step
+			res.MatchesFound = 1
+			return res
+		}
+	}
+	return res
+}
+
+// RandomWalk runs a one-off k-walker search, allocating a fresh
+// Walker. Batch callers should hold a Walker (or use a Kernel) so the
+// scratch is reused.
+func RandomWalk(g *graph.Graph, src int, cfg WalkConfig, match Matcher, rng *rand.Rand) Result {
+	return NewWalker(g).Random(src, cfg, match, rng)
+}
+
+// DegreeBiasedWalk runs a one-off degree-biased walk, allocating a
+// fresh Walker.
+func DegreeBiasedWalk(g *graph.Graph, src, maxSteps int, match Matcher, rng *rand.Rand) Result {
+	return NewWalker(g).DegreeBiased(src, maxSteps, match, rng)
 }

@@ -30,6 +30,13 @@ type ChurnConfig struct {
 	SearchProbes int
 	SearchTTL    int
 	SearchStore  *content.Store
+	// SearchWorkers bounds the goroutines each snapshot's probe batch
+	// fans out over (0 = GOMAXPROCS, 1 = sequential). The overlay is
+	// quiescent while a snapshot runs — the event loop is
+	// single-threaded — so concurrent probes only read shared state,
+	// and per-probe seeding keeps the measured rate identical at any
+	// worker count.
+	SearchWorkers int
 
 	// RatingSnapshots, when true, records the mean §2.1 link rating at
 	// every snapshot via the batched RateAll pass — churn-time
@@ -128,7 +135,9 @@ func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
 		snap := takeSnapshot(o, eng.Now())
 		snap.SearchSuccess = SentinelOff
 		if cfg.SearchProbes > 0 {
-			snap.SearchSuccess = measureSearch(o, cfg.SearchStore, cfg.SearchProbes, cfg.SearchTTL, probeRng)
+			// One seed per snapshot, drawn from the probe stream; the
+			// batch derives per-probe seeds from it.
+			snap.SearchSuccess = measureSearch(o, cfg.SearchStore, cfg.SearchProbes, cfg.SearchTTL, cfg.SearchWorkers, probeRng.Int63())
 		}
 		snap.MeanRating = SentinelOff
 		if cfg.RatingSnapshots {
@@ -153,12 +162,15 @@ func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
 
 // measureSearch floods from random alive sources for random objects,
 // matching only ALIVE replicas (dead hosts cannot answer), and
-// returns the success rate.
-func measureSearch(o *core.Overlay, store *content.Store, probes, ttl int, rng *rand.Rand) float64 {
+// returns the success rate. Probes run as one parallel batch over the
+// frozen snapshot graph; the overlay is only read, never mutated.
+func measureSearch(o *core.Overlay, store *content.Store, probes, ttl, workers int, seed int64) float64 {
+	if probes <= 0 {
+		return 0
+	}
 	g := o.Freeze() // dead nodes are isolated, so floods skip them
-	fl := search.NewFlooder(g)
-	found := 0
-	for q := 0; q < probes; q++ {
+	br := &search.BatchRunner{Graph: g, Workers: workers, Seed: seed}
+	agg := br.Run(probes, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 		src := -1
 		for tries := 0; tries < 100; tries++ {
 			c := rng.Intn(o.N())
@@ -168,15 +180,12 @@ func measureSearch(o *core.Overlay, store *content.Store, probes, ttl int, rng *
 			}
 		}
 		if src < 0 {
-			continue
+			return search.Result{FirstMatchHop: -1} // counts as a failed probe
 		}
 		obj := store.RandomObject(rng)
-		r := fl.Flood(src, ttl, func(u int) bool { return o.Alive(u) && store.Has(u, obj) })
-		if r.Success {
-			found++
-		}
-	}
-	return float64(found) / float64(probes)
+		return k.Flooder().Flood(src, ttl, func(u int) bool { return o.Alive(u) && store.Has(u, obj) })
+	})
+	return agg.SuccessRate()
 }
 
 // meanRating averages the link scores of a RateAll pass; 0 when the

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"testing"
 
 	"makalu/internal/content"
@@ -77,9 +76,15 @@ func TestMeasureSearchMatchesOnlyAliveReplicas(t *testing.T) {
 	host := int(store.Replicas(obj)[0])
 	// Kill the only replica: success must be zero.
 	o.FailNodes([]int{host})
-	rng := rand.New(rand.NewSource(70))
-	if got := measureSearch(o, store, 30, 6, rng); got != 0 {
+	if got := measureSearch(o, store, 30, 6, 0, 70); got != 0 {
 		t.Fatalf("dead replica still found: %v", got)
+	}
+	// Revive it: the parallel and sequential batches must agree.
+	o.Revive(host)
+	seq := measureSearch(o, store, 30, 6, 1, 70)
+	par := measureSearch(o, store, 30, 6, 8, 70)
+	if seq != par {
+		t.Fatalf("probe batch not worker-count invariant: seq %v, par %v", seq, par)
 	}
 }
 

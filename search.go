@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"makalu/internal/content"
+	"makalu/internal/graph"
 	"makalu/internal/search"
 )
 
@@ -56,10 +58,83 @@ func (ov *Overlay) ExpandingRingSearch(src, maxTTL int, match func(node int) boo
 	return fromInternal(search.ExpandingRing(f, src, cfg, search.Matcher(match), rng))
 }
 
+// BatchOptions sizes a parallel query batch. Queries are sharded over
+// Workers goroutines (0 = GOMAXPROCS, 1 = sequential), each query
+// seeded deterministically from (Seed, query index), so the returned
+// stats are identical at every worker count.
+type BatchOptions struct {
+	Queries int
+	Workers int
+	Seed    int64
+}
+
+// BatchStats summarizes a query batch with the metrics the paper
+// reports per experiment cell.
+type BatchStats struct {
+	Queries        int
+	SuccessRate    float64
+	MeanMessages   float64
+	MeanHops       float64 // over successful queries
+	MeanVisited    float64
+	DuplicateRatio float64
+}
+
+func statsFrom(agg *search.Aggregate) BatchStats {
+	return BatchStats{
+		Queries:        agg.Queries,
+		SuccessRate:    agg.SuccessRate(),
+		MeanMessages:   agg.MeanMessages(),
+		MeanHops:       agg.MeanHops(),
+		MeanVisited:    agg.MeanVisited(),
+		DuplicateRatio: agg.DuplicateRatio(),
+	}
+}
+
+// FloodBatch runs opt.Queries flooding searches over the current
+// overlay snapshot: each query floods from a uniform random source for
+// a uniform random object of c.
+func (ov *Overlay) FloodBatch(c *Content, ttl int, opt BatchOptions) BatchStats {
+	g := ov.graphSnapshot()
+	br := &search.BatchRunner{Graph: g, Workers: opt.Workers, Seed: opt.Seed}
+	return statsFrom(br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
+		obj := c.store.RandomObject(rng)
+		src := rng.Intn(g.N())
+		return k.Flooder().Flood(src, ttl, func(u int) bool { return c.store.Has(u, obj) })
+	}))
+}
+
+// RandomWalkBatch runs opt.Queries k-walker random-walk searches over
+// the current overlay snapshot.
+func (ov *Overlay) RandomWalkBatch(c *Content, walkers, maxSteps int, opt BatchOptions) BatchStats {
+	g := ov.graphSnapshot()
+	cfg := search.WalkConfig{Walkers: walkers, MaxSteps: maxSteps, CheckInterval: 4}
+	br := &search.BatchRunner{Graph: g, Workers: opt.Workers, Seed: opt.Seed}
+	return statsFrom(br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
+		obj := c.store.RandomObject(rng)
+		src := rng.Intn(g.N())
+		return k.Walker().Random(src, cfg, func(u int) bool { return c.store.Has(u, obj) }, rng)
+	}))
+}
+
+// ExpandingRingBatch runs opt.Queries expanding-ring searches over the
+// current overlay snapshot.
+func (ov *Overlay) ExpandingRingBatch(c *Content, maxTTL int, opt BatchOptions) BatchStats {
+	g := ov.graphSnapshot()
+	cfg := search.RingConfig{StartTTL: 1, Step: 1, MaxTTL: maxTTL}
+	br := &search.BatchRunner{Graph: g, Workers: opt.Workers, Seed: opt.Seed}
+	return statsFrom(br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
+		obj := c.store.RandomObject(rng)
+		src := rng.Intn(g.N())
+		return search.ExpandingRing(k.Flooder(), src, cfg, func(u int) bool { return c.store.Has(u, obj) }, rng)
+	}))
+}
+
 // IdentifierIndex is the attenuated-Bloom-filter routing state for
 // exact identifier search (§4.6). Build one per content placement;
 // rebuild after overlay mutations or content changes.
 type IdentifierIndex struct {
+	g      *graph.Graph
+	store  *content.Store
 	net    *search.ABFNetwork
 	router *search.ABFRouter
 	rng    *rand.Rand
@@ -72,11 +147,14 @@ func (ov *Overlay) BuildIdentifierIndex(c *Content) (*IdentifierIndex, error) {
 	if c == nil {
 		return nil, fmt.Errorf("makalu: nil content")
 	}
-	net, err := search.BuildABFNetwork(ov.graphSnapshot(), c.store, search.DefaultABFConfig())
+	g := ov.graphSnapshot()
+	net, err := search.BuildABFNetwork(g, c.store, search.DefaultABFConfig())
 	if err != nil {
 		return nil, err
 	}
 	return &IdentifierIndex{
+		g:      g,
+		store:  c.store,
 		net:    net,
 		router: search.NewABFRouter(net),
 		rng:    rand.New(rand.NewSource(ov.cfg.Seed + 23)),
@@ -87,6 +165,19 @@ func (ov *Overlay) BuildIdentifierIndex(c *Content) (*IdentifierIndex, error) {
 // budget, following the Bloom-filter potential function at each hop.
 func (ix *IdentifierIndex) Lookup(src int, obj uint64, ttl int) SearchResult {
 	return fromInternal(ix.router.Lookup(src, obj, ttl, ix.rng))
+}
+
+// LookupBatch runs opt.Queries identifier lookups, each from a uniform
+// random source for a uniform random placed object, sharded over the
+// batch engine (the routing state is shared read-only; each worker
+// owns its own router scratch).
+func (ix *IdentifierIndex) LookupBatch(ttl int, opt BatchOptions) BatchStats {
+	br := &search.BatchRunner{Graph: ix.g, Workers: opt.Workers, Seed: opt.Seed}
+	return statsFrom(br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
+		obj := ix.store.RandomObject(rng)
+		src := rng.Intn(ix.g.N())
+		return k.ABF(ix.net).Lookup(src, obj, ttl, rng)
+	}))
 }
 
 // MemoryBytes reports the total filter state the index keeps across

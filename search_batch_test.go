@@ -1,0 +1,57 @@
+package makalu
+
+import "testing"
+
+// The public batch wrappers ride on the internal BatchRunner, whose
+// golden tests pin parallel == sequential per mechanism. Here we pin
+// the same property through the public surface, plus basic sanity of
+// the returned stats.
+
+func TestPublicBatchWorkerInvariance(t *testing.T) {
+	ov := newSmall(t, 300, 11)
+	c, err := ov.PlaceContent(10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := BatchOptions{Queries: 120, Workers: 1, Seed: 21}
+	par := BatchOptions{Queries: 120, Workers: 8, Seed: 21}
+
+	if a, b := ov.FloodBatch(c, 4, seq), ov.FloodBatch(c, 4, par); a != b {
+		t.Fatalf("FloodBatch diverges across workers: %+v vs %+v", a, b)
+	}
+	if a, b := ov.RandomWalkBatch(c, 8, 128, seq), ov.RandomWalkBatch(c, 8, 128, par); a != b {
+		t.Fatalf("RandomWalkBatch diverges across workers: %+v vs %+v", a, b)
+	}
+	if a, b := ov.ExpandingRingBatch(c, 5, seq), ov.ExpandingRingBatch(c, 5, par); a != b {
+		t.Fatalf("ExpandingRingBatch diverges across workers: %+v vs %+v", a, b)
+	}
+
+	ix, err := ov.BuildIdentifierIndex(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := ix.LookupBatch(25, seq), ix.LookupBatch(25, par); a != b {
+		t.Fatalf("LookupBatch diverges across workers: %+v vs %+v", a, b)
+	}
+}
+
+func TestPublicBatchStats(t *testing.T) {
+	ov := newSmall(t, 300, 12)
+	c, err := ov.PlaceContent(10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ov.FloodBatch(c, 4, BatchOptions{Queries: 100, Seed: 3})
+	if st.Queries != 100 {
+		t.Fatalf("want 100 queries, got %d", st.Queries)
+	}
+	// 5% replication and TTL 4 on a 300-node overlay resolves nearly
+	// everything; anything below 90% means the batch is broken, not
+	// unlucky.
+	if st.SuccessRate < 0.9 {
+		t.Fatalf("implausible success rate %v", st.SuccessRate)
+	}
+	if st.MeanMessages <= 0 || st.MeanVisited <= 0 {
+		t.Fatalf("empty cost stats: %+v", st)
+	}
+}
