@@ -117,7 +117,7 @@ func BenchmarkAblationQRP(b *testing.B) {
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				agg, err := experiments.TwoTierFloodBatch(g, tt.IsUltra, store, 3, 100, 0, tc.useQRP, 7)
+				agg, err := experiments.TwoTierFloodBatch(g, tt.IsUltra, store, 3, 100, 0, tc.useQRP, 7, nil)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -219,6 +219,36 @@ func benchCore(rep *benchReport) error {
 		}
 		rep.add(name, 0, metrics, r)
 	}
+
+	// Observability overhead: one flood batch with the BatchObs
+	// histograms off and on. The recorded overhead documents the cost
+	// of the instrumentation fast path; the PR acceptance budget is a
+	// < 5% regression for the instrumented run.
+	fstore, err := experiments.PlaceObjects(2000, 20, 0.01, 7)
+	if err != nil {
+		return err
+	}
+	fg := o.Freeze()
+	var floodNs [2]float64
+	for i, instrumented := range []bool{false, true} {
+		var fo *search.BatchObs
+		name := "FloodBatch/uninstrumented/n=2000"
+		if instrumented {
+			fo = search.NewBatchObs()
+			name = "FloodBatch/instrumented/n=2000"
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for it := 0; it < b.N; it++ {
+				experiments.FloodBatch(fg, fstore, 4, 200, 1, 77, fo)
+			}
+		})
+		floodNs[i] = float64(r.T.Nanoseconds()) / float64(r.N)
+		metrics := map[string]float64{"queries/op": 200}
+		if instrumented {
+			metrics["overhead-vs-uninstrumented"] = floodNs[1]/floodNs[0] - 1
+		}
+		rep.add(name, 1, metrics, r)
+	}
 	return nil
 }
 
@@ -271,7 +301,7 @@ func benchSearch(rep *benchReport) error {
 	}
 
 	seqVsPar("BatchFlood/n=2000", func(workers int) {
-		experiments.FloodBatch(g, store, ttl, queries, workers, seed+11)
+		experiments.FloodBatch(g, store, ttl, queries, workers, seed+11, nil)
 	})
 
 	walkCfg := search.DefaultWalkConfig()
@@ -300,7 +330,7 @@ func benchSearch(rep *benchReport) error {
 	tt := topology.NewTwoTier(n, ttCfg)
 	ttg := tt.Graph.Freeze(nil)
 	seqVsPar("BatchTwoTierFlood/n=2000", func(workers int) {
-		if _, err := experiments.TwoTierFloodBatch(ttg, tt.IsUltra, store, 3, queries, workers, false, seed+23); err != nil {
+		if _, err := experiments.TwoTierFloodBatch(ttg, tt.IsUltra, store, 3, queries, workers, false, seed+23, nil); err != nil {
 			panic(err)
 		}
 	})

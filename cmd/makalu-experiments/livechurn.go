@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"makalu/internal/obs"
 	"makalu/internal/sim"
 	"makalu/peer"
 	"makalu/peer/faultnet"
@@ -17,7 +18,7 @@ import (
 // liveness machinery evict the dead and re-knit the overlay. It emits
 // the same snapshot timeline as `makalu-sim -churn`, so live and
 // simulated fault-tolerance curves are directly comparable.
-func runLiveChurn(nodes int, seed int64) error {
+func runLiveChurn(nodes int, seed int64, reg *obs.Registry, trace *obs.EventLog) error {
 	if nodes < 10 {
 		nodes = 10
 	}
@@ -34,6 +35,8 @@ func runLiveChurn(nodes int, seed int64) error {
 		IdleTimeout:     8 * interval,
 		DialBackoffBase: interval,
 		DialMaxFails:    4,
+		Metrics:         reg,
+		Trace:           trace,
 	}
 	c, err := peer.StartCluster(nodes, cfg, func(int) peer.Transport { return fn.Endpoint() })
 	if err != nil {

@@ -27,6 +27,13 @@
 // fault-injection scenario: a real in-process network under the
 // faultnet injector is hard-killed and partitioned, and the recovery
 // is reported as the same snapshot timeline `makalu-sim -churn` emits.
+//
+// -metrics-json <path> writes the obs registry (counters, gauges,
+// per-query and wire histograms) as JSON at exit; -trace <path> writes
+// the overlay event log (join/prune/suspect/evict/dial-backoff/query
+// events) as JSON lines; -metrics-dump prints an expvar-style text
+// dump to stderr at exit. All three work for experiments and for
+// -live-churn.
 package main
 
 import (
@@ -38,25 +45,89 @@ import (
 	"time"
 
 	"makalu/internal/experiments"
+	"makalu/internal/obs"
+	"makalu/internal/search"
 )
+
+// Metric names for the per-query batch histograms the experiments
+// accumulate when observability is on.
+const (
+	mQueryLatency = "search.query_latency_ns"
+	mQueryHops    = "search.query_hops"
+	mQueryMsgs    = "search.query_messages"
+)
+
+// writeObs flushes the observability outputs selected on the command
+// line. Failures are reported but never change the exit status: the
+// measurements already printed are the run's product, the dumps are a
+// side channel.
+func writeObs(reg *obs.Registry, trace *obs.EventLog, metricsPath, tracePath string, dump bool) {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err == nil {
+			err = reg.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+		} else {
+			fmt.Printf("[metrics written to %s]\n", metricsPath)
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err == nil {
+			err = trace.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		} else {
+			fmt.Printf("[%d trace events written to %s (%d overwritten)]\n", trace.Len(), tracePath, trace.Overwritten())
+		}
+	}
+	if dump {
+		if err := reg.WriteText(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-dump: %v\n", err)
+		}
+	}
+}
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (paths, spectrum, fig1, table1, duplicates, fig2, fig3, fig4, abf-vs-dht, table2, resilience, expansion, low-replication, strategies, convergence, ratings, all)")
-		n       = flag.Int("n", 2000, "network size (paper scale: 100000)")
-		queries = flag.Int("queries", 300, "queries per measurement point")
-		seed    = flag.Int64("seed", 1, "master random seed")
-		sources = flag.Int("sources", 500, "BFS/Dijkstra sources for path analysis (0 = exact)")
-		workers   = flag.Int("workers", 0, "goroutines for query batches and experiment cells (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
-		plotDir   = flag.String("plot", "", "write gnuplot .dat/.gp files for figures to this directory")
-		benchTo   = flag.String("bench-json", "", "run a micro-benchmark suite and write a JSON report to this path instead of experiments")
-		benchKind = flag.String("bench-suite", "core", "benchmark suite for -bench-json: core (rating engine) or search (query-batch engine)")
-		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
-		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
-		liveChurn = flag.Bool("live-churn", false, "run the live TCP fault-injection scenario instead of experiments (uses -seed; scale with -live-nodes)")
-		liveNodes = flag.Int("live-nodes", 24, "node count for -live-churn")
+		exp         = flag.String("exp", "all", "experiment id (paths, spectrum, fig1, table1, duplicates, fig2, fig3, fig4, abf-vs-dht, table2, resilience, expansion, low-replication, strategies, convergence, ratings, all)")
+		n           = flag.Int("n", 2000, "network size (paper scale: 100000)")
+		queries     = flag.Int("queries", 300, "queries per measurement point")
+		seed        = flag.Int64("seed", 1, "master random seed")
+		sources     = flag.Int("sources", 500, "BFS/Dijkstra sources for path analysis (0 = exact)")
+		workers     = flag.Int("workers", 0, "goroutines for query batches and experiment cells (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
+		plotDir     = flag.String("plot", "", "write gnuplot .dat/.gp files for figures to this directory")
+		benchTo     = flag.String("bench-json", "", "run a micro-benchmark suite and write a JSON report to this path instead of experiments")
+		benchKind   = flag.String("bench-suite", "core", "benchmark suite for -bench-json: core (rating engine) or search (query-batch engine)")
+		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf     = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
+		liveChurn   = flag.Bool("live-churn", false, "run the live TCP fault-injection scenario instead of experiments (uses -seed; scale with -live-nodes)")
+		liveNodes   = flag.Int("live-nodes", 24, "node count for -live-churn")
+		metricsJSON = flag.String("metrics-json", "", "write the metrics registry (counters, gauges, histograms) as JSON to this path at exit")
+		tracePath   = flag.String("trace", "", "write the overlay event trace as JSON lines to this path at exit")
+		metricsDump = flag.Bool("metrics-dump", false, "print an expvar-style metrics dump to stderr at exit")
 	)
 	flag.Parse()
+	// One registry and one event log for the whole run, whichever mode
+	// executes; nil-safe handles make this free when no flag asks for
+	// observability.
+	var reg *obs.Registry
+	var trace *obs.EventLog
+	obsOn := *metricsJSON != "" || *tracePath != "" || *metricsDump
+	if obsOn {
+		reg = obs.NewRegistry()
+		trace = obs.NewEventLog(0)
+		defer writeObs(reg, trace, *metricsJSON, *tracePath, *metricsDump)
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -94,13 +165,20 @@ func main() {
 		return
 	}
 	if *liveChurn {
-		if err := runLiveChurn(*liveNodes, *seed); err != nil {
+		if err := runLiveChurn(*liveNodes, *seed, reg, trace); err != nil {
 			fmt.Fprintf(os.Stderr, "live churn failed: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	opt := experiments.Options{N: *n, Queries: *queries, Seed: *seed, Workers: *workers}
+	if obsOn {
+		opt.Obs = &search.BatchObs{
+			Latency:  reg.Histogram(mQueryLatency),
+			Hops:     reg.Histogram(mQueryHops),
+			Messages: reg.Histogram(mQueryMsgs),
+		}
+	}
 
 	type runner struct {
 		id  string

@@ -42,7 +42,7 @@ func RunFigure4(opt Options) (*Figure4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		br := &search.BatchRunner{Graph: mk.Graph, Workers: opt.Workers, Seed: opt.Seed + 41}
+		br := &search.BatchRunner{Graph: mk.Graph, Workers: opt.Workers, Seed: opt.Seed + 41, Obs: opt.Obs}
 		agg := br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 			obj := store.RandomObject(rng)
 			src := rng.Intn(opt.N)
@@ -139,7 +139,7 @@ func RunABFvsDHT(opt Options, replication float64) (*ABFvsDHTResult, error) {
 	// are deterministic given (src, obj), so a cheap sequential pass
 	// re-derives the same per-query (obj, src) pairs from the same
 	// query seeds and routes them through both DHTs.
-	br := &search.BatchRunner{Graph: mk.Graph, Workers: opt.Workers, Seed: opt.Seed + 53}
+	br := &search.BatchRunner{Graph: mk.Graph, Workers: opt.Workers, Seed: opt.Seed + 53, Obs: opt.Obs}
 	agg := br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 		obj := store.RandomObject(rng)
 		src := rng.Intn(opt.N)

@@ -126,7 +126,7 @@ func RunLowReplication(opt Options) (*LowReplicationResult, error) {
 	const ttl = 4
 	res := &LowReplicationResult{N: opt.N, Replication: 0.0001, TTL: ttl}
 
-	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Workers, opt.Seed+79)
+	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Workers, opt.Seed+79, opt.Obs)
 	res.MakaluSuccess = agg.SuccessRate()
 	res.MakaluMsgs = agg.MeanMessages()
 
@@ -137,7 +137,7 @@ func RunLowReplication(opt Options) (*LowReplicationResult, error) {
 	euc := netmodel.NewEuclidean(opt.N, 1000, opt.Seed)
 	sg := chord.OverlayGraph(func(u, v int) float64 { return euc.Latency(u, v) })
 	res.StructellaDiam = 0 // diameter only computed for small n; report hops instead
-	sAgg := FloodBatch(sg, store, ttl, opt.Queries, opt.Workers, opt.Seed+89)
+	sAgg := FloodBatch(sg, store, ttl, opt.Queries, opt.Workers, opt.Seed+89, opt.Obs)
 	res.StructellaSucc = sAgg.SuccessRate()
 	res.StructellaMsgs = sAgg.MeanMessages()
 	return res, nil

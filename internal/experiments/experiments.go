@@ -29,6 +29,11 @@ type Options struct {
 	// every query's randomness derives from (batch seed, query index)
 	// and every cell writes only its own output slot.
 	Workers int
+	// Obs, when non-nil, accumulates per-query latency/hop/message
+	// histograms across every batch the experiment runs. It never
+	// feeds back into results — the deterministic Aggregate stays
+	// bit-identical with or without it.
+	Obs *search.BatchObs
 }
 
 // DefaultOptions returns sizes that keep the full experiment suite in
@@ -106,8 +111,8 @@ func BuildAll(n int, seed int64) ([]*Network, error) {
 // goroutines (0 = GOMAXPROCS), each owning a reusable Flooder kernel,
 // with per-query seeds derived from (seed, query index) so the
 // aggregate is identical at any worker count.
-func FloodBatch(g *graph.Graph, store *content.Store, ttl, queries, workers int, seed int64) *search.Aggregate {
-	br := &search.BatchRunner{Graph: g, Workers: workers, Seed: seed}
+func FloodBatch(g *graph.Graph, store *content.Store, ttl, queries, workers int, seed int64, o *search.BatchObs) *search.Aggregate {
+	br := &search.BatchRunner{Graph: g, Workers: workers, Seed: seed, Obs: o}
 	return br.Run(queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 		obj := store.RandomObject(rng)
 		src := rng.Intn(g.N())
@@ -120,7 +125,7 @@ func FloodBatch(g *graph.Graph, store *content.Store, ttl, queries, workers int,
 // forward the query to every neighbor, leaves included — the source
 // of the 38.4 fan-out); useQRP=true is the gated ablation, where each
 // leaf uploads a QRP table and only plausible matches are bothered.
-func TwoTierFloodBatch(g *graph.Graph, isUltra []bool, store *content.Store, ttl, queries, workers int, useQRP bool, seed int64) (*search.Aggregate, error) {
+func TwoTierFloodBatch(g *graph.Graph, isUltra []bool, store *content.Store, ttl, queries, workers int, useQRP bool, seed int64, o *search.BatchObs) (*search.Aggregate, error) {
 	qrp := make([]*content.QRPTable, g.N())
 	if useQRP {
 		for u := 0; u < g.N(); u++ {
@@ -134,7 +139,7 @@ func TwoTierFloodBatch(g *graph.Graph, isUltra []bool, store *content.Store, ttl
 	if _, err := search.NewTwoTierFlooder(g, isUltra, qrp); err != nil {
 		return nil, err
 	}
-	br := &search.BatchRunner{Graph: g, Workers: workers, Seed: seed}
+	br := &search.BatchRunner{Graph: g, Workers: workers, Seed: seed, Obs: o}
 	agg := br.Run(queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 		fl, _ := k.TwoTier(isUltra, qrp)
 		obj := store.RandomObject(rng)
@@ -149,8 +154,8 @@ func TwoTierFloodBatch(g *graph.Graph, isUltra []bool, store *content.Store, ttl
 // that TTL. When no TTL reaches the target it returns maxTTL and its
 // aggregate. The derivation uses a single max-TTL batch: a flood
 // succeeds at TTL t iff its first match lies within t hops.
-func MinTTL(g *graph.Graph, store *content.Store, maxTTL, queries, workers int, target float64, seed int64) (int, *search.Aggregate) {
-	full := FloodBatch(g, store, maxTTL, queries, workers, seed)
+func MinTTL(g *graph.Graph, store *content.Store, maxTTL, queries, workers int, target float64, seed int64, o *search.BatchObs) (int, *search.Aggregate) {
+	full := FloodBatch(g, store, maxTTL, queries, workers, seed, o)
 	for ttl := 1; ttl < maxTTL; ttl++ {
 		hits := 0
 		for _, h := range full.Hops.Values() {
@@ -160,7 +165,7 @@ func MinTTL(g *graph.Graph, store *content.Store, maxTTL, queries, workers int, 
 		}
 		if float64(hits)/float64(full.Queries) >= target {
 			// Re-measure message cost at this exact TTL.
-			return ttl, FloodBatch(g, store, ttl, queries, workers, seed)
+			return ttl, FloodBatch(g, store, ttl, queries, workers, seed, o)
 		}
 	}
 	return maxTTL, full

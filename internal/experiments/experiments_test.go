@@ -371,8 +371,8 @@ func TestMinTTLMonotone(t *testing.T) {
 	}
 	loRepl, _ := PlaceObjects(opt.N, 10, 0.005, 11)
 	hiRepl, _ := PlaceObjects(opt.N, 10, 0.05, 11)
-	ttlLo, _ := MinTTL(mk.Graph, loRepl, 10, 80, 0, 0.95, 13)
-	ttlHi, _ := MinTTL(mk.Graph, hiRepl, 10, 80, 0, 0.95, 13)
+	ttlLo, _ := MinTTL(mk.Graph, loRepl, 10, 80, 0, 0.95, 13, nil)
+	ttlHi, _ := MinTTL(mk.Graph, hiRepl, 10, 80, 0, 0.95, 13, nil)
 	if ttlHi > ttlLo {
 		t.Fatalf("more replication should not need a larger TTL: %d vs %d", ttlHi, ttlLo)
 	}

@@ -69,15 +69,15 @@ func RunTable1(opt Options) (*Table1Result, error) {
 		row := &res.Rows[ri]
 		switch ti {
 		case 0: // Makalu: plain flooding.
-			ttl, agg := MinTTL(byName[TopoMakalu].Graph, store, maxTTL, opt.Queries, 1, target, opt.Seed+11)
+			ttl, agg := MinTTL(byName[TopoMakalu].Graph, store, maxTTL, opt.Queries, 1, target, opt.Seed+11, opt.Obs)
 			row.MK = Table1Cell{MsgsPerQuery: agg.MeanMessages(), MinTTL: ttl, SuccessRate: agg.SuccessRate()}
 		case 1: // v0.4: plain flooding.
-			ttl, agg := MinTTL(byName[TopoV04].Graph, store, maxTTL, opt.Queries, 1, target, opt.Seed+13)
+			ttl, agg := MinTTL(byName[TopoV04].Graph, store, maxTTL, opt.Queries, 1, target, opt.Seed+13, opt.Obs)
 			row.V04 = Table1Cell{MsgsPerQuery: agg.MeanMessages(), MinTTL: ttl, SuccessRate: agg.SuccessRate()}
 		case 2: // v0.6: two-tier flooding; sweep the core TTL directly.
 			v06 := byName[TopoV06]
 			for t := 1; t <= maxTTL; t++ {
-				agg, err := TwoTierFloodBatch(v06.Graph, v06.IsUltra, store, t, opt.Queries, 1, false, opt.Seed+17)
+				agg, err := TwoTierFloodBatch(v06.Graph, v06.IsUltra, store, t, opt.Queries, 1, false, opt.Seed+17, opt.Obs)
 				if err != nil {
 					return err
 				}
@@ -132,7 +132,7 @@ func RunDuplicates(opt Options, ttl int, replication float64) (*DuplicatesResult
 	if err != nil {
 		return nil, err
 	}
-	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Workers, opt.Seed+19)
+	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Workers, opt.Seed+19, opt.Obs)
 	return &DuplicatesResult{N: opt.N, TTL: ttl, Replication: replication, Agg: agg}, nil
 }
 
@@ -179,7 +179,7 @@ func RunFigure2(opt Options) (*Figure2Result, error) {
 		if err != nil {
 			return err
 		}
-		agg := FloodBatch(mk.Graph, store, res.TTL, opt.Queries, 1, opt.Seed+29)
+		agg := FloodBatch(mk.Graph, store, res.TTL, opt.Queries, 1, opt.Seed+29, opt.Obs)
 		res.Points[i] = ScalingPoint{
 			N: n, MsgsPerQuery: agg.MeanMessages(), SuccessRate: agg.SuccessRate(),
 		}
@@ -254,7 +254,7 @@ func RunFigure3(opt Options) (*Figure3Result, error) {
 		if err != nil {
 			return err
 		}
-		agg := FloodBatch(mk.Graph, store, res.MaxTTL, opt.Queries, 1, opt.Seed+37)
+		agg := FloodBatch(mk.Graph, store, res.MaxTTL, opt.Queries, 1, opt.Seed+37, opt.Obs)
 		curve := SuccessCurve{N: n, Success: make([]float64, res.MaxTTL+1)}
 		for ttl := 0; ttl <= res.MaxTTL; ttl++ {
 			hits := 0

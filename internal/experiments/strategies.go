@@ -76,7 +76,7 @@ func RunStrategies(opt Options) (*StrategiesResult, error) {
 			// worker counts into its own slab (addressed by kern.Index)
 			// and the slabs are summed after the batch — addition
 			// commutes, so the merged tally is worker-count invariant.
-			br := &search.BatchRunner{Graph: nw.Graph, Workers: opt.Workers, Seed: opt.Seed + 103}
+			br := &search.BatchRunner{Graph: nw.Graph, Workers: opt.Workers, Seed: opt.Seed + 103, Obs: opt.Obs}
 			slabs := make([][]int64, br.WorkerCount(opt.Queries))
 			for w := range slabs {
 				slabs[w] = make([]int64, opt.N)

@@ -43,7 +43,7 @@ func RunTable2(opt Options) (*Table2Result, error) {
 		return nil, err
 	}
 	const ttl = 5
-	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Workers, opt.Seed+61)
+	agg := FloodBatch(mk.Graph, store, ttl, opt.Queries, opt.Workers, opt.Seed+61, opt.Obs)
 	meanDeg := mk.Graph.MeanDegree()
 	rows := trace.Table2(trace.Gnutella2006(), meanDeg-1, agg.SuccessRate(), meanDeg)
 	return &Table2Result{

@@ -4,9 +4,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"makalu/internal/content"
 	"makalu/internal/graph"
+	"makalu/internal/obs"
 )
 
 // This file is the parallel query-batch engine: a BatchRunner shards a
@@ -129,12 +131,80 @@ func (k *Kernel) PerEdgeABF(net *PerEdgeABFNetwork) *PerEdgeABFRouter {
 // kern.Index).
 type QueryFunc func(kern *Kernel, q int, rng *rand.Rand) Result
 
+// BatchObs collects per-query distribution metrics for batch runs.
+// It lives entirely outside the Aggregate: each worker observes into
+// private histograms which Run merges into these targets in worker
+// order after the batch, so the Aggregate — and with it the
+// bit-identical-at-any-worker-count guarantee — is untouched. Hops and
+// Messages are derived from deterministic Results and therefore land
+// identically at any worker count; Latency is wall time and is not.
+// Any field may be nil to skip that dimension; targets may come from
+// an obs.Registry, accumulating across batches.
+type BatchObs struct {
+	Latency  *obs.Histogram // per-query wall time, nanoseconds
+	Hops     *obs.Histogram // first-match hop of successful queries
+	Messages *obs.Histogram // messages sent per query
+}
+
+// NewBatchObs returns a BatchObs with all dimensions enabled, backed
+// by fresh histograms.
+func NewBatchObs() *BatchObs {
+	return &BatchObs{Latency: new(obs.Histogram), Hops: new(obs.Histogram), Messages: new(obs.Histogram)}
+}
+
+// workerObs is one worker's private observation scratch. The zero
+// value (nil histograms, produced for a nil BatchObs) makes every
+// method a branch and nothing more.
+type workerObs struct {
+	latency, hops, messages *obs.Histogram
+}
+
+func (b *BatchObs) worker() workerObs {
+	if b == nil {
+		return workerObs{}
+	}
+	return workerObs{latency: new(obs.Histogram), hops: new(obs.Histogram), messages: new(obs.Histogram)}
+}
+
+// start stamps the query start; the zero time means "not observing"
+// and keeps time.Now() off the uninstrumented path.
+func (o *workerObs) start() time.Time {
+	if o.latency == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (o *workerObs) observe(start time.Time, r Result) {
+	if o.latency == nil {
+		return
+	}
+	o.latency.Since(start)
+	o.messages.Observe(int64(r.Messages))
+	if r.Success {
+		o.hops.Observe(int64(r.FirstMatchHop))
+	}
+}
+
+// merge folds one worker's histograms into the batch targets. Run
+// calls it in worker order; histogram merges commute regardless, so
+// the merged counts are scheduling-independent either way.
+func (b *BatchObs) merge(o workerObs) {
+	if b == nil || o.latency == nil {
+		return
+	}
+	b.Latency.Merge(o.latency)
+	b.Hops.Merge(o.hops)
+	b.Messages.Merge(o.messages)
+}
+
 // BatchRunner runs batches of independent queries over one frozen
 // graph. The zero value of Workers selects GOMAXPROCS.
 type BatchRunner struct {
 	Graph   *graph.Graph
-	Workers int   // goroutines; <= 0 means GOMAXPROCS, 1 is sequential
-	Seed    int64 // batch seed; per-query seeds derive from (Seed, q)
+	Workers int       // goroutines; <= 0 means GOMAXPROCS, 1 is sequential
+	Seed    int64     // batch seed; per-query seeds derive from (Seed, q)
+	Obs     *BatchObs // optional per-query metrics; nil = zero overhead
 }
 
 // WorkerCount resolves the effective worker count for a batch of the
@@ -169,13 +239,19 @@ func (br *BatchRunner) Run(queries int, fn QueryFunc) *Aggregate {
 		kern := &Kernel{g: br.Graph}
 		rng := rand.New(rand.NewSource(0))
 		agg := NewAggregate()
+		o := br.Obs.worker()
 		for q := 0; q < queries; q++ {
 			rng.Seed(QuerySeed(br.Seed, q))
-			agg.Add(fn(kern, q, rng))
+			start := o.start()
+			r := fn(kern, q, rng)
+			o.observe(start, r)
+			agg.Add(r)
 		}
+		br.Obs.merge(o)
 		return agg
 	}
 	aggs := make([]*Aggregate, workers)
+	wobs := make([]workerObs, workers)
 	per := (queries + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -194,11 +270,16 @@ func (br *BatchRunner) Run(queries int, fn QueryFunc) *Aggregate {
 			kern := &Kernel{Index: w, g: br.Graph}
 			rng := rand.New(rand.NewSource(0))
 			agg := NewAggregate()
+			o := br.Obs.worker()
 			for q := lo; q < hi; q++ {
 				rng.Seed(QuerySeed(br.Seed, q))
-				agg.Add(fn(kern, q, rng))
+				start := o.start()
+				r := fn(kern, q, rng)
+				o.observe(start, r)
+				agg.Add(r)
 			}
 			aggs[w] = agg
+			wobs[w] = o
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -207,6 +288,12 @@ func (br *BatchRunner) Run(queries int, fn QueryFunc) *Aggregate {
 		if a != nil {
 			total.Merge(a)
 		}
+	}
+	// Worker-order merge of the side histograms, after the aggregate:
+	// determinism of the Aggregate is enforced by construction (it
+	// never sees the histograms at all).
+	for w := range wobs {
+		br.Obs.merge(wobs[w])
 	}
 	return total
 }

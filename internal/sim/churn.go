@@ -6,8 +6,13 @@ import (
 
 	"makalu/internal/content"
 	"makalu/internal/core"
+	"makalu/internal/obs"
 	"makalu/internal/search"
 )
+
+// simNodeName labels simulated node u in trace events; live events use
+// transport addresses, sim events this stable synthetic form.
+func simNodeName(u int) string { return fmt.Sprintf("sim:%d", u) }
 
 // ChurnConfig drives a node churn process over a Makalu overlay:
 // every alive node departs after an exponentially distributed session
@@ -43,6 +48,14 @@ type ChurnConfig struct {
 	// maintenance visibility into how far the rating engine's steering
 	// signal degrades between management rounds.
 	RatingSnapshots bool
+
+	// Trace, when non-nil, receives the churn process's lifecycle
+	// events stamped with simulated time: a departure is an evict, a
+	// rejoin is a join, and each snapshot's probe batch is one
+	// query-start (value = probes issued) followed by one query-hit
+	// (value = probes that succeeded). The taxonomy matches the live
+	// peer layer's, so the same trace tooling reads both.
+	Trace *obs.EventLog
 }
 
 // DefaultChurnConfig runs 100 time units with sessions averaging 50,
@@ -88,7 +101,7 @@ func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
 	if cfg.SnapshotInterval <= 0 {
 		cfg.SnapshotInterval = cfg.Duration / 10
 	}
-	eng := &Engine{}
+	eng := &Engine{Trace: cfg.Trace}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &ChurnResult{}
 
@@ -100,9 +113,11 @@ func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
 			}
 			o.FailNodes([]int{u})
 			res.Departures++
+			eng.Emit(obs.EvEvict, simNodeName(u), "", 0)
 			eng.Schedule(rng.ExpFloat64()*cfg.MeanDowntime, func() {
 				if o.Revive(u) {
 					res.Rejoins++
+					eng.Emit(obs.EvJoin, simNodeName(u), "", 0)
 					scheduleDeparture(u)
 				}
 			})
@@ -137,7 +152,9 @@ func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
 		if cfg.SearchProbes > 0 {
 			// One seed per snapshot, drawn from the probe stream; the
 			// batch derives per-probe seeds from it.
+			eng.Emit(obs.EvQueryStart, "sim", "", int64(cfg.SearchProbes))
 			snap.SearchSuccess = measureSearch(o, cfg.SearchStore, cfg.SearchProbes, cfg.SearchTTL, cfg.SearchWorkers, probeRng.Int63())
+			eng.Emit(obs.EvQueryHit, "sim", "", int64(snap.SearchSuccess*float64(cfg.SearchProbes)+0.5))
 		}
 		snap.MeanRating = SentinelOff
 		if cfg.RatingSnapshots {

@@ -4,7 +4,11 @@
 // recovery paths over simulated time (§2.2 dynamics, §3.4 failures).
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"makalu/internal/obs"
+)
 
 // Engine is a deterministic discrete-event scheduler. Events fire in
 // time order; ties break by scheduling order. The zero value is ready
@@ -14,6 +18,15 @@ type Engine struct {
 	now float64
 	seq uint64
 	ran uint64
+
+	// Trace, when non-nil, receives overlay events via Emit stamped
+	// with the simulated clock — the same event taxonomy the live peer
+	// layer records, so one trace consumer reads both worlds.
+	Trace *obs.EventLog
+	// TickHook, when non-nil, runs after every executed event with the
+	// post-event clock and cumulative event count — a per-tick metrics
+	// hook that keeps the engine decoupled from any registry.
+	TickHook func(now float64, executed uint64)
 }
 
 type event struct {
@@ -79,7 +92,16 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.ran++
 	ev.do()
+	if e.TickHook != nil {
+		e.TickHook(e.now, e.ran)
+	}
 	return true
+}
+
+// Emit records an overlay event in the engine's trace, stamped with
+// the current simulated time. With a nil Trace this is one branch.
+func (e *Engine) Emit(t obs.EventType, node, peer string, value int64) {
+	e.Trace.RecordSim(e.now, t, node, peer, value)
 }
 
 // RunUntil executes events with timestamps <= t, then advances the

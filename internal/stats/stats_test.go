@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -59,8 +60,11 @@ func TestMinMax(t *testing.T) {
 }
 
 func TestMinMaxEmpty(t *testing.T) {
-	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
-		t.Fatal("Min/Max of empty slice should be +/-Inf")
+	// Regression: empty inputs used to return ±Inf, which
+	// encoding/json rejects — any struct carrying them could never be
+	// marshaled into an experiment report.
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatalf("Min/Max of empty slice = %v/%v, want 0/0", Min(nil), Max(nil))
 	}
 }
 
@@ -129,6 +133,51 @@ func TestMeanCI(t *testing.T) {
 	_, hw = MeanCI([]float64{0, 10, 0, 10})
 	if hw <= 0 {
 		t.Fatal("varying samples should have positive CI half-width")
+	}
+}
+
+func TestMeanCIStudentT(t *testing.T) {
+	// Regression for the z=1.96 bug: at experiment-scale sample counts
+	// (5–30 runs) the normal approximation understates the 95%
+	// interval. Pin the n=5 case exactly: xs has mean 3, sample
+	// variance 2.5, so hw = t(4) * sqrt(2.5/5) = 2.776 * sqrt(0.5).
+	xs := []float64{1, 2, 3, 4, 5}
+	mean, hw := MeanCI(xs)
+	want := 2.776 * math.Sqrt(2.5/5)
+	if mean != 3 || !almostEq(hw, want, 1e-12) {
+		t.Fatalf("MeanCI(n=5) = %v ± %v, want 3 ± %v", mean, hw, want)
+	}
+	// n=2 is the most extreme case: t(1) = 12.706, 6.5x the normal z.
+	_, hw2 := MeanCI([]float64{0, 1})
+	want2 := 12.706 * math.Sqrt(0.5/2)
+	if !almostEq(hw2, want2, 1e-12) {
+		t.Fatalf("MeanCI(n=2) hw = %v, want %v", hw2, want2)
+	}
+	// Large samples fall back to z = 1.96.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 10)
+	}
+	_, hwBig := MeanCI(big)
+	wantBig := 1.96 * StdDev(big) / 10
+	if !almostEq(hwBig, wantBig, 1e-12) {
+		t.Fatalf("MeanCI(n=100) hw = %v, want z-based %v", hwBig, wantBig)
+	}
+}
+
+func TestSummaryEmptyJSONRoundTrip(t *testing.T) {
+	// An empty Summary must marshal (no ±Inf fields) and round-trip.
+	s := Summarize(nil)
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("empty Summary did not marshal: %v", err)
+	}
+	var back Summary
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed the summary: %+v vs %+v", back, s)
 	}
 }
 

@@ -50,9 +50,9 @@ type Network struct {
 	cfg Config
 
 	mu       sync.Mutex
-	seq      int64 // connection counter, for per-conn RNG derivation
-	isolated map[string]bool      // node listen addr -> all its traffic black-holed
-	cut      map[[2]string]bool   // link (addr pair) -> black-holed
+	seq      int64              // connection counter, for per-conn RNG derivation
+	isolated map[string]bool    // node listen addr -> all its traffic black-holed
+	cut      map[[2]string]bool // link (addr pair) -> black-holed
 
 	dropped    atomic.Uint64
 	duplicated atomic.Uint64

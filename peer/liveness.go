@@ -2,6 +2,8 @@ package peer
 
 import (
 	"time"
+
+	"makalu/internal/obs"
 )
 
 // This file implements failure detection and recovery for live links:
@@ -30,8 +32,10 @@ func (n *Node) sweepLiveness() {
 			continue // link already gone; the nonce was the leak
 		}
 		l.missed++
-		if l.missed >= n.cfg.SuspectMisses {
+		if l.missed >= n.cfg.SuspectMisses && !l.suspect {
 			l.suspect = true
+			n.met.suspects.Inc()
+			n.met.trace.Record(obs.EvSuspect, n.Addrlocked(), l.addr, int64(l.missed))
 		}
 		// >= with the byManager latch: several nonces can expire in
 		// one sweep, stepping missed past the threshold.
@@ -47,7 +51,7 @@ func (n *Node) sweepLiveness() {
 		// the loss and both ends re-enter the overlay via refill.
 		n.dropLink(l)
 		n.noteDialFailure(l.addr)
-		n.bumpEvictions()
+		n.bumpEvictions(l.addr)
 	}
 	if len(victims) > 0 {
 		n.kickManage()
@@ -70,9 +74,12 @@ func (n *Node) noteDialFailure(addr string) {
 		n.backoff[addr] = b
 	}
 	b.fails++
+	n.met.dialFailures.Inc()
+	n.met.trace.Record(obs.EvDialBackoff, n.Addrlocked(), addr, int64(b.fails))
 	if b.fails >= n.cfg.DialMaxFails {
 		delete(n.cache, addr)
 		delete(n.backoff, addr)
+		n.met.backoffEntries.Set(int64(len(n.backoff)))
 		return
 	}
 	delay := n.cfg.DialBackoffBase << uint(b.fails-1)
@@ -83,20 +90,27 @@ func (n *Node) noteDialFailure(addr string) {
 	// survivors all retrying the same dead peer.
 	jittered := delay/2 + time.Duration(n.rng.Int63n(int64(delay/2)+1))
 	b.until = time.Now().Add(jittered)
+	n.met.backoffEntries.Set(int64(len(n.backoff)))
 }
 
 // noteDialSuccess clears the backoff state for addr.
 func (n *Node) noteDialSuccess(addr string) {
 	n.mu.Lock()
 	delete(n.backoff, addr)
+	n.met.backoffEntries.Set(int64(len(n.backoff)))
 	n.mu.Unlock()
 }
 
-// bumpEvictions counts a liveness-triggered link loss.
-func (n *Node) bumpEvictions() {
+// bumpEvictions counts a liveness-triggered loss of the link to addr,
+// in both the LinkStats counter and the event trace — every eviction
+// LinkStats reports has a matching EvEvict event, which the
+// mass-failure acceptance test pins.
+func (n *Node) bumpEvictions(addr string) {
 	n.mu.Lock()
 	n.evictions++
 	n.mu.Unlock()
+	n.met.evictions.Inc()
+	n.met.trace.Record(obs.EvEvict, n.Addr(), addr, 0)
 }
 
 // kickManage requests an immediate management round (refill, prune)

@@ -32,8 +32,8 @@ type Cluster struct {
 
 	mu      sync.Mutex
 	nodes   []*Node
-	down    map[int]bool       // killed or closed
-	holders map[uint64]int     // object -> hosting node index
+	down    map[int]bool   // killed or closed
+	holders map[uint64]int // object -> hosting node index
 }
 
 // StartCluster launches n live nodes. transport(i) supplies each

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"makalu/internal/obs"
 	"makalu/peer/faultnet"
 )
 
@@ -77,6 +78,12 @@ func TestClusterSurvivesMassFailure(t *testing.T) {
 		DialBackoffBase: interval,
 		DialMaxFails:    4,
 	}
+	// Cluster-wide observability: every node reports into one registry
+	// and one event trace, so the failure storm below is fully visible.
+	reg := obs.NewRegistry()
+	trace := obs.NewEventLog(1 << 16)
+	cfg.Metrics = reg
+	cfg.Trace = trace
 	c, err := StartCluster(nNodes, cfg, func(i int) Transport { return fn.Endpoint() })
 	if err != nil {
 		t.Fatal(err)
@@ -161,6 +168,41 @@ func TestClusterSurvivesMassFailure(t *testing.T) {
 	}
 	if totalEvict == 0 {
 		t.Fatal("no liveness evictions recorded despite 6 hard-killed nodes")
+	}
+
+	// Observability acceptance (PR 4): the event trace must contain
+	// every suspect→evict transition that LinkStats reports — for each
+	// survivor, the number of EvEvict events attributed to it equals
+	// its Evictions counter, and the failure detector left suspect
+	// events on the way there.
+	evictEvents := make(map[string]int)
+	for _, e := range trace.Snapshot() {
+		if e.Type == obs.EvEvict {
+			evictEvents[e.Node]++
+		}
+	}
+	for _, i := range c.AliveIndices() {
+		addr := c.Node(i).Addr()
+		st := c.Node(i).Stats()
+		if uint64(evictEvents[addr]) != st.Evictions {
+			t.Errorf("node %d: trace has %d evict events, LinkStats reports %d evictions",
+				i, evictEvents[addr], st.Evictions)
+		}
+	}
+	if trace.CountType(obs.EvSuspect) == 0 {
+		t.Error("no suspect events in trace despite liveness evictions")
+	}
+	// The registry's cluster-wide counters agree with the trace, and
+	// the wire/liveness instruments actually measured traffic.
+	snap := reg.Snapshot()
+	if got, want := snap.Counters["peer.evictions"], int64(trace.CountType(obs.EvEvict)); got != want {
+		t.Errorf("metrics evictions %d != trace evict events %d", got, want)
+	}
+	if snap.Counters["peer.frames_in"] == 0 || snap.Counters["peer.frames_out"] == 0 {
+		t.Error("wire counters recorded no frames")
+	}
+	if snap.Histograms["peer.ping_rtt_ns"].Count == 0 {
+		t.Error("ping RTT histogram recorded no samples")
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"makalu/internal/obs"
 )
 
 // Config parameterizes a live node.
@@ -56,6 +58,18 @@ type Config struct {
 	// HostCacheCap bounds the host cache; beyond it a random
 	// non-neighbor entry is evicted per insertion. Default 512.
 	HostCacheCap int
+
+	// Metrics, when non-nil, receives the node's runtime instruments:
+	// frames/bytes in and out, the ping RTT histogram, suspect/evict
+	// transition counters, dial-backoff state and query activity.
+	// Several nodes may share one registry (peer.Cluster does); the
+	// counters then aggregate cluster-wide. Nil disables metrics at
+	// the cost of one branch per instrumentation point.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives typed overlay lifecycle events
+	// (join, prune, suspect, evict, dial-backoff, query-start/hit)
+	// with per-node attribution. Nil disables tracing.
+	Trace *obs.EventLog
 }
 
 // withDefaults fills the zero-valued knobs.
@@ -118,24 +132,25 @@ type Node struct {
 	ln  net.Listener
 
 	mu        sync.Mutex
-	conns     map[string]*link         // by remote listen address
-	cache     map[string]bool          // host cache: bounded sample of learned addresses
-	views     map[string][]string      // last neighbor list pushed by each peer
-	rtt       map[string]float64       // measured RTT seconds
-	pingT     map[uint64]pingRef       // outstanding ping nonces
-	backoff   map[string]*dialBackoff  // per-address re-dial state
-	dialing   map[string]bool          // dials in flight (refill dedup)
-	store     map[uint64]bool          // hosted objects
-	seen      map[uint64]bool          // query-id duplicate suppression
-	seenQ     []uint64                 // FIFO for seen eviction
-	queries   uint64                   // queries forwarded (stats)
-	evictions uint64                   // links dropped for liveness (stats)
+	conns     map[string]*link        // by remote listen address
+	cache     map[string]bool         // host cache: bounded sample of learned addresses
+	views     map[string][]string     // last neighbor list pushed by each peer
+	rtt       map[string]float64      // measured RTT seconds
+	pingT     map[uint64]pingRef      // outstanding ping nonces
+	backoff   map[string]*dialBackoff // per-address re-dial state
+	dialing   map[string]bool         // dials in flight (refill dedup)
+	store     map[uint64]bool         // hosted objects
+	seen      map[uint64]bool         // query-id duplicate suppression
+	seenQ     []uint64                // FIFO for seen eviction
+	queries   uint64                  // queries forwarded (stats)
+	evictions uint64                  // links dropped for liveness (stats)
 	closed    bool
 	killed    bool       // Kill() was called: crash semantics, no FIN
 	deadConns []net.Conn // connections left dangling by Kill, reaped by Close
 
 	hits chan Hit
-	abf  *abfState // attenuated-filter routing state (§4.6)
+	abf  *abfState   // attenuated-filter routing state (§4.6)
+	met  nodeMetrics // resolved observability handles (all nil when disabled)
 	rng  *rand.Rand
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -160,7 +175,8 @@ type link struct {
 	w        *bufio.Writer
 	wmu      sync.Mutex
 	wtimeout time.Duration
-	born     time.Time // registration time, for the pruning grace period
+	met      *nodeMetrics // owning node's instruments (never nil; handles may be)
+	born     time.Time    // registration time, for the pruning grace period
 
 	// Liveness state, guarded by the owning Node's mu.
 	missed    int  // consecutive expired ping nonces
@@ -173,12 +189,16 @@ func (l *link) send(kind byte, payload []byte) error {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
 	l.c.SetWriteDeadline(time.Now().Add(l.wtimeout))
-	return writeFrame(l.w, kind, payload)
+	err := writeFrame(l.w, kind, payload)
+	if err == nil {
+		l.met.frameOut(len(payload))
+	}
+	return err
 }
 
 // newLink wraps an established connection.
 func (n *Node) newLink(addr string, c net.Conn) *link {
-	return &link{addr: addr, c: c, w: bufio.NewWriter(c), wtimeout: n.cfg.DialTimeout}
+	return &link{addr: addr, c: c, w: bufio.NewWriter(c), wtimeout: n.cfg.DialTimeout, met: &n.met}
 }
 
 // Start launches a node listening on addr (use "127.0.0.1:0" for an
@@ -211,6 +231,7 @@ func Start(addr string, cfg Config) (*Node, error) {
 		stop:    make(chan struct{}),
 		kick:    make(chan struct{}, 1),
 	}
+	n.met = newNodeMetrics(cfg.Metrics, cfg.Trace)
 	n.wg.Add(2)
 	go n.acceptLoop()
 	go n.manageLoop()
@@ -313,6 +334,9 @@ func (n *Node) handleInbound(c net.Conn) {
 		// it, and close without registering a neighbor.
 		if hf, err := readFrame(r); err == nil && hf.kind == msgQueryHit {
 			if h, err := decodeHit(hf.payload); err == nil {
+				n.met.frameIn(len(hf.payload))
+				n.met.queryHits.Inc()
+				n.met.trace.Record(obs.EvQueryHit, n.Addr(), h.Holder, int64(h.QueryID))
 				select {
 				case n.hits <- Hit{QueryID: h.QueryID, Object: h.Object, Holder: h.Holder}:
 				default:
@@ -402,6 +426,9 @@ func (n *Node) register(l *link) bool {
 	l.born = time.Now()
 	n.conns[l.addr] = l
 	n.addToCacheLocked(l.addr)
+	n.met.joins.Inc()
+	n.met.links.Add(1)
+	n.met.trace.Record(obs.EvJoin, n.Addrlocked(), l.addr, 0)
 	return true
 }
 
@@ -426,7 +453,7 @@ func (n *Node) readLoop(l *link, r *bufio.Reader) {
 		n.mu.Unlock()
 		if !skip {
 			n.noteDialFailure(l.addr)
-			n.bumpEvictions()
+			n.bumpEvictions(l.addr)
 			n.kickManage()
 		}
 	}()
@@ -449,6 +476,7 @@ func (n *Node) readLoop(l *link, r *bufio.Reader) {
 		if err != nil {
 			return
 		}
+		n.met.frameIn(len(f.payload))
 		switch f.kind {
 		case msgNeighbors:
 			if p, err := decodeNeighbors(f.payload); err == nil {
@@ -470,6 +498,8 @@ func (n *Node) readLoop(l *link, r *bufio.Reader) {
 			}
 		case msgQueryHit:
 			if h, err := decodeHit(f.payload); err == nil {
+				n.met.queryHits.Inc()
+				n.met.trace.Record(obs.EvQueryHit, n.Addr(), h.Holder, int64(h.QueryID))
 				select {
 				case n.hits <- Hit{QueryID: h.QueryID, Object: h.Object, Holder: h.Holder}:
 				default: // originator not draining; drop
@@ -487,7 +517,9 @@ func (n *Node) readLoop(l *link, r *bufio.Reader) {
 					// Same guard as above: a pong racing the link's
 					// eviction must not resurrect a stale RTT entry.
 					if cur, ok := n.conns[l.addr]; ok && cur == l {
-						n.rtt[l.addr] = time.Since(ref.at).Seconds()
+						rtt := time.Since(ref.at)
+						n.rtt[l.addr] = rtt.Seconds()
+						n.met.pingRTT.ObserveDuration(rtt)
 						l.missed = 0
 						l.suspect = false
 					}
@@ -522,6 +554,7 @@ func (n *Node) dropLink(l *link) {
 				delete(n.pingT, nonce)
 			}
 		}
+		n.met.links.Add(-1)
 	}
 	killed := n.killed
 	if killed {
@@ -676,6 +709,8 @@ func (n *Node) pruneIfNeeded() {
 		n.mu.Lock()
 		victim.byManager = true
 		n.mu.Unlock()
+		n.met.prunes.Inc()
+		n.met.trace.Record(obs.EvPrune, n.Addr(), victim.addr, 0)
 		victim.send(msgBye, nil)
 		n.dropLink(victim)
 	}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"net"
 	"time"
+
+	"makalu/internal/obs"
 )
 
 // seenCap bounds the query-ID cache; the oldest entries are evicted
@@ -24,7 +26,11 @@ func (n *Node) Query(obj uint64, ttl int) uint64 {
 		links = append(links, l)
 	}
 	n.mu.Unlock()
+	n.met.queriesStarted.Inc()
+	n.met.trace.Record(obs.EvQueryStart, n.Addr(), "", int64(ttl))
 	if hasLocal {
+		n.met.queryHits.Inc()
+		n.met.trace.Record(obs.EvQueryHit, n.Addr(), n.Addr(), int64(id))
 		select {
 		case n.hits <- Hit{QueryID: id, Object: obj, Holder: n.Addr()}:
 		default:
@@ -56,6 +62,7 @@ func (n *Node) handleQuery(q queryPayload, from string) {
 	}
 	n.markSeenLocked(q.QueryID)
 	n.queries++
+	n.met.queriesForwarded.Inc()
 	hasIt := n.store[q.Object]
 	var links []*link
 	if q.TTL > 1 {
@@ -98,6 +105,8 @@ func (n *Node) handleQuery(q queryPayload, from string) {
 // may have left).
 func (n *Node) deliverHit(addr string, h hitPayload) {
 	if addr == n.Addr() {
+		n.met.queryHits.Inc()
+		n.met.trace.Record(obs.EvQueryHit, n.Addr(), h.Holder, int64(h.QueryID))
 		select {
 		case n.hits <- Hit{QueryID: h.QueryID, Object: h.Object, Holder: h.Holder}:
 		default:
@@ -130,8 +139,14 @@ func (n *Node) deliverHit(addr string, h hitPayload) {
 func (n *Node) oneShotHit(c net.Conn, h hitPayload) {
 	w := bufio.NewWriter(c)
 	c.SetWriteDeadline(time.Now().Add(2 * time.Second))
-	writeFrame(w, msgHello, encodeHello(helloPayload{Addr: transientAddr}))
-	writeFrame(w, msgQueryHit, encodeHit(h))
+	hello := encodeHello(helloPayload{Addr: transientAddr})
+	hit := encodeHit(h)
+	if writeFrame(w, msgHello, hello) == nil {
+		n.met.frameOut(len(hello))
+	}
+	if writeFrame(w, msgQueryHit, hit) == nil {
+		n.met.frameOut(len(hit))
+	}
 }
 
 // transientAddr marks a connection that only delivers a hit and

@@ -6,6 +6,7 @@ import (
 
 	"makalu/internal/content"
 	"makalu/internal/graph"
+	"makalu/internal/obs"
 	"makalu/internal/search"
 )
 
@@ -66,10 +67,39 @@ type BatchOptions struct {
 	Queries int
 	Workers int
 	Seed    int64
+	// Histograms enables the per-query distribution summaries in the
+	// returned BatchStats (Latency/Hops/Messages). The headline stats
+	// stay bit-identical with or without it; Latency is wall time and
+	// therefore varies run to run.
+	Histograms bool
+}
+
+// obs returns the side-channel collector for this batch, nil when
+// histograms are off (the zero-overhead path).
+func (opt BatchOptions) obs() *search.BatchObs {
+	if !opt.Histograms {
+		return nil
+	}
+	return search.NewBatchObs()
+}
+
+// DistSummary is a plain-value summary of one per-query distribution.
+// Quantiles come from power-of-two buckets: each reported quantile is
+// the bucket upper bound, i.e. exact within a factor of two.
+type DistSummary struct {
+	Count uint64
+	Mean  float64
+	P50   float64
+	P95   float64
+	P99   float64
+	Max   int64
 }
 
 // BatchStats summarizes a query batch with the metrics the paper
-// reports per experiment cell.
+// reports per experiment cell. The distribution fields are zero unless
+// BatchOptions.Histograms was set: Latency is per-query wall time in
+// nanoseconds, Hops the first-match hop over successes, Messages the
+// messages sent per query.
 type BatchStats struct {
 	Queries        int
 	SuccessRate    float64
@@ -77,10 +107,18 @@ type BatchStats struct {
 	MeanHops       float64 // over successful queries
 	MeanVisited    float64
 	DuplicateRatio float64
+	Latency        DistSummary
+	Hops           DistSummary
+	Messages       DistSummary
 }
 
-func statsFrom(agg *search.Aggregate) BatchStats {
-	return BatchStats{
+func distFrom(h *obs.Histogram) DistSummary {
+	s := h.Snapshot()
+	return DistSummary{Count: s.Count, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
+}
+
+func statsFrom(agg *search.Aggregate, o *search.BatchObs) BatchStats {
+	st := BatchStats{
 		Queries:        agg.Queries,
 		SuccessRate:    agg.SuccessRate(),
 		MeanMessages:   agg.MeanMessages(),
@@ -88,6 +126,12 @@ func statsFrom(agg *search.Aggregate) BatchStats {
 		MeanVisited:    agg.MeanVisited(),
 		DuplicateRatio: agg.DuplicateRatio(),
 	}
+	if o != nil {
+		st.Latency = distFrom(o.Latency)
+		st.Hops = distFrom(o.Hops)
+		st.Messages = distFrom(o.Messages)
+	}
+	return st
 }
 
 // FloodBatch runs opt.Queries flooding searches over the current
@@ -95,12 +139,13 @@ func statsFrom(agg *search.Aggregate) BatchStats {
 // a uniform random object of c.
 func (ov *Overlay) FloodBatch(c *Content, ttl int, opt BatchOptions) BatchStats {
 	g := ov.graphSnapshot()
-	br := &search.BatchRunner{Graph: g, Workers: opt.Workers, Seed: opt.Seed}
+	o := opt.obs()
+	br := &search.BatchRunner{Graph: g, Workers: opt.Workers, Seed: opt.Seed, Obs: o}
 	return statsFrom(br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 		obj := c.store.RandomObject(rng)
 		src := rng.Intn(g.N())
 		return k.Flooder().Flood(src, ttl, func(u int) bool { return c.store.Has(u, obj) })
-	}))
+	}), o)
 }
 
 // RandomWalkBatch runs opt.Queries k-walker random-walk searches over
@@ -108,12 +153,13 @@ func (ov *Overlay) FloodBatch(c *Content, ttl int, opt BatchOptions) BatchStats 
 func (ov *Overlay) RandomWalkBatch(c *Content, walkers, maxSteps int, opt BatchOptions) BatchStats {
 	g := ov.graphSnapshot()
 	cfg := search.WalkConfig{Walkers: walkers, MaxSteps: maxSteps, CheckInterval: 4}
-	br := &search.BatchRunner{Graph: g, Workers: opt.Workers, Seed: opt.Seed}
+	o := opt.obs()
+	br := &search.BatchRunner{Graph: g, Workers: opt.Workers, Seed: opt.Seed, Obs: o}
 	return statsFrom(br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 		obj := c.store.RandomObject(rng)
 		src := rng.Intn(g.N())
 		return k.Walker().Random(src, cfg, func(u int) bool { return c.store.Has(u, obj) }, rng)
-	}))
+	}), o)
 }
 
 // ExpandingRingBatch runs opt.Queries expanding-ring searches over the
@@ -121,12 +167,13 @@ func (ov *Overlay) RandomWalkBatch(c *Content, walkers, maxSteps int, opt BatchO
 func (ov *Overlay) ExpandingRingBatch(c *Content, maxTTL int, opt BatchOptions) BatchStats {
 	g := ov.graphSnapshot()
 	cfg := search.RingConfig{StartTTL: 1, Step: 1, MaxTTL: maxTTL}
-	br := &search.BatchRunner{Graph: g, Workers: opt.Workers, Seed: opt.Seed}
+	o := opt.obs()
+	br := &search.BatchRunner{Graph: g, Workers: opt.Workers, Seed: opt.Seed, Obs: o}
 	return statsFrom(br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 		obj := c.store.RandomObject(rng)
 		src := rng.Intn(g.N())
 		return search.ExpandingRing(k.Flooder(), src, cfg, func(u int) bool { return c.store.Has(u, obj) }, rng)
-	}))
+	}), o)
 }
 
 // IdentifierIndex is the attenuated-Bloom-filter routing state for
@@ -172,12 +219,13 @@ func (ix *IdentifierIndex) Lookup(src int, obj uint64, ttl int) SearchResult {
 // batch engine (the routing state is shared read-only; each worker
 // owns its own router scratch).
 func (ix *IdentifierIndex) LookupBatch(ttl int, opt BatchOptions) BatchStats {
-	br := &search.BatchRunner{Graph: ix.g, Workers: opt.Workers, Seed: opt.Seed}
+	o := opt.obs()
+	br := &search.BatchRunner{Graph: ix.g, Workers: opt.Workers, Seed: opt.Seed, Obs: o}
 	return statsFrom(br.Run(opt.Queries, func(k *search.Kernel, q int, rng *rand.Rand) search.Result {
 		obj := ix.store.RandomObject(rng)
 		src := rng.Intn(ix.g.N())
 		return k.ABF(ix.net).Lookup(src, obj, ttl, rng)
-	}))
+	}), o)
 }
 
 // MemoryBytes reports the total filter state the index keeps across
