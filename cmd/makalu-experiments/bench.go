@@ -74,6 +74,56 @@ func buildBenchOverlay(n, deg, workers int, full bool) (*core.Overlay, error) {
 	return core.Build(n, cfg)
 }
 
+// compareBaseline checks the fresh report against a committed
+// BENCH_*.json and returns an error when any same-named benchmark
+// regressed by more than maxRatio in ns/op. Entries present on only
+// one side are ignored (suites grow over time); a >2× threshold rides
+// out scheduler noise on shared CI runners while still catching real
+// complexity regressions.
+func compareBaseline(rep *benchReport, baselinePath string, maxRatio float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	baseline := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b.NsPerOp
+	}
+	var regressions []string
+	compared := 0
+	for _, b := range rep.Benchmarks {
+		want, ok := baseline[b.Name]
+		if !ok || want <= 0 {
+			continue
+		}
+		compared++
+		ratio := b.NsPerOp / want
+		status := "ok"
+		if ratio > maxRatio {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx)", b.Name, b.NsPerOp, want, ratio))
+		}
+		fmt.Printf("baseline %-44s %6.2fx  %s\n", b.Name, ratio, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks in common with baseline %s", baselinePath)
+	}
+	if len(regressions) > 0 {
+		msg := "performance regressions vs " + baselinePath + ":"
+		for _, r := range regressions {
+			msg += "\n  " + r
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Printf("[%d benchmarks within %.1fx of %s]\n", compared, maxRatio, baselinePath)
+	return nil
+}
+
 // runBenchJSON executes the selected benchmark suite and writes the
 // report to path.
 func runBenchJSON(path, suite string) error {

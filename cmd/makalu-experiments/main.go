@@ -37,6 +37,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -108,6 +109,8 @@ func main() {
 		plotDir     = flag.String("plot", "", "write gnuplot .dat/.gp files for figures to this directory")
 		benchTo     = flag.String("bench-json", "", "run a micro-benchmark suite and write a JSON report to this path instead of experiments")
 		benchKind   = flag.String("bench-suite", "core", "benchmark suite for -bench-json: core (rating engine) or search (query-batch engine)")
+		benchBase   = flag.String("bench-baseline", "", "committed BENCH_*.json to compare the fresh -bench-json report against; exit non-zero on regression")
+		benchMaxX   = flag.Float64("bench-max-regression", 2.0, "maximum allowed ns/op ratio vs -bench-baseline before failing")
 		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf     = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 		liveChurn   = flag.Bool("live-churn", false, "run the live TCP fault-injection scenario instead of experiments (uses -seed; scale with -live-nodes)")
@@ -115,6 +118,9 @@ func main() {
 		metricsJSON = flag.String("metrics-json", "", "write the metrics registry (counters, gauges, histograms) as JSON to this path at exit")
 		tracePath   = flag.String("trace", "", "write the overlay event trace as JSON lines to this path at exit")
 		metricsDump = flag.Bool("metrics-dump", false, "print an expvar-style metrics dump to stderr at exit")
+		scaleSizes  = flag.String("scale-sizes", "10000,50000,200000,1000000", "comma-separated network sizes for -exp scale")
+		scaleJSON   = flag.String("scale-json", "", "write the -exp scale sweep as JSON to this path (the BENCH_scale.json record)")
+		scaleLand   = flag.Int("scale-landmarks", 64, "landmark BFS sources for the sampled path length in -exp scale")
 	)
 	flag.Parse()
 	// One registry and one event log for the whole run, whichever mode
@@ -162,11 +168,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchmark run failed: %v\n", err)
 			os.Exit(1)
 		}
+		if *benchBase != "" {
+			rep, err := os.ReadFile(*benchTo)
+			var fresh benchReport
+			if err == nil {
+				err = json.Unmarshal(rep, &fresh)
+			}
+			if err == nil {
+				err = compareBaseline(&fresh, *benchBase, *benchMaxX)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench-baseline: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 	if *liveChurn {
 		if err := runLiveChurn(*liveNodes, *seed, reg, trace); err != nil {
 			fmt.Fprintf(os.Stderr, "live churn failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "scale" {
+		// The scale sweep is size-parameterized (-scale-sizes), runs up
+		// to 10⁶ nodes and is deliberately excluded from -exp all.
+		if err := runScale(*scaleSizes, *scaleLand, *seed, *scaleJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment scale failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -119,11 +119,19 @@ func (o *Overlay) connect(u, v int) bool {
 	}
 	o.refreshView(u)
 	o.refreshView(v)
-	o.pruneToCapacity(u, nil)
+	o.pruneDiscard(u)
 	if o.g.HasEdge(u, v) {
-		o.pruneToCapacity(v, nil)
+		o.pruneDiscard(v)
 	}
 	return o.g.HasEdge(u, v)
+}
+
+// pruneDiscard prunes u to capacity, reusing one overlay-owned buffer
+// for the dropped list the caller does not want. Every internal prune
+// (connect, ManageRound, SetCapacity) routes through here so the hot
+// accept-then-prune path allocates nothing.
+func (o *Overlay) pruneDiscard(u int) {
+	o.droppedBuf = o.pruneToCapacity(u, o.droppedBuf[:0])
 }
 
 // Connect dials v from u through the paper's provisional-accept rule:
@@ -192,7 +200,7 @@ func (o *Overlay) ManageRound() {
 		}
 	}
 	o.refreshAllViews() // parallel snapshot sweep (ProtocolViews only)
-	order := o.rng.Perm(n)
+	order := o.perm(n)
 	for _, u := range order {
 		if !o.alive[u] {
 			continue
@@ -220,7 +228,7 @@ func (o *Overlay) ManageRound() {
 				o.fillConnections(u, seed)
 			}
 		}
-		o.pruneToCapacity(u, nil)
+		o.pruneDiscard(u)
 	}
 	o.pairOpenSlots()
 }
@@ -233,12 +241,13 @@ func (o *Overlay) ManageRound() {
 // Mutual under-capacity connections cannot be pruned away at accept
 // time, so the pairing sticks.
 func (o *Overlay) pairOpenSlots() {
-	var open []int32
+	open := o.openBuf[:0]
 	for u := 0; u < o.g.N(); u++ {
 		if o.alive[u] && o.g.Degree(u) < o.caps[u] {
 			open = append(open, int32(u))
 		}
 	}
+	o.openBuf = open
 	if len(open) < 2 {
 		return
 	}
@@ -368,7 +377,7 @@ func (o *Overlay) SetCapacity(u, capacity int) {
 		capacity = 0
 	}
 	o.caps[u] = capacity
-	o.pruneToCapacity(u, nil)
+	o.pruneDiscard(u)
 }
 
 // AddNode grows the overlay by one node with the given capacity and
@@ -382,7 +391,11 @@ func (o *Overlay) AddNode(capacity int) int {
 	u := o.g.AddNode()
 	o.caps = append(o.caps, capacity)
 	o.alive = append(o.alive, true)
-	o.views = append(o.views, nil)
+	if o.cfg.Views == ProtocolViews {
+		o.views = append(o.views, make([]int32, 0, capacity+2))
+	} else {
+		o.views = append(o.views, nil)
+	}
 	o.nLive++
 	o.scratch.grow(u + 1)
 	if seed := o.randomAliveNodeExcept(u); seed >= 0 {

@@ -149,6 +149,28 @@ type Overlay struct {
 	candBuf     []int32          // reusable candidate buffer for walks
 	fallbackBuf []int32          // reusable boundary-fallback buffer for walks
 	leaveBuf    []int32          // reusable neighbor snapshot for Leave
+	droppedBuf  []int32          // reusable dropped-neighbor buffer for internal prunes
+	openBuf     []int32          // reusable open-slot list for pairOpenSlots
+	permBuf     []int            // reusable permutation for ManageRound ordering
+}
+
+// perm fills the overlay's reusable permutation buffer with a random
+// permutation of [0, n), drawing from the rng exactly as rand.Perm
+// does — same draws, same output — without the per-round allocation.
+func (o *Overlay) perm(n int) []int {
+	if cap(o.permBuf) < n {
+		o.permBuf = make([]int, n)
+	}
+	m := o.permBuf[:n]
+	if n > 0 {
+		m[0] = 0
+	}
+	for i := 1; i < n; i++ {
+		j := o.rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
 }
 
 // Build constructs a Makalu overlay of n nodes: nodes join one at a
@@ -193,6 +215,24 @@ func Build(n int, cfg Config) (*Overlay, error) {
 	}
 	for i := range o.alive {
 		o.alive[i] = true
+	}
+	if cfg.Views == ProtocolViews {
+		// Back every node's exchanged view with a slot in one flat
+		// arena instead of n little slices. A view never outgrows
+		// capacity+1 (a provisional accept holds at most one excess
+		// link when refreshView runs), so capacity+2 headroom means the
+		// append in refreshView never reallocates; if a capacity is
+		// raised later the view falls back to its own allocation.
+		total := 0
+		for _, c := range o.caps {
+			total += c + 2
+		}
+		arena := make([]int32, total)
+		off := 0
+		for i, c := range o.caps {
+			o.views[i] = arena[off : off : off+c+2]
+			off += c + 2
+		}
 	}
 
 	// Join phase: nodes join in random order so physical locality does

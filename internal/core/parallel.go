@@ -95,6 +95,20 @@ func (o *Overlay) RateAll(out [][]RatingInfo) [][]RatingInfo {
 		out = grown
 	}
 	out = out[:n]
+	if w := o.workerCount(); w <= 1 || n <= 1 {
+		// Sequential fast path: no closure, no goroutines — with warm
+		// per-node buffers a full sweep allocates nothing (pinned by
+		// the AllocsPerRun tests).
+		s := o.scratchFor(0)
+		for u := 0; u < n; u++ {
+			if !o.alive[u] {
+				out[u] = out[u][:0]
+				continue
+			}
+			out[u] = o.rateNeighborsOn(s, u, out[u])
+		}
+		return out
+	}
 	o.forEachNode(func(s *ratingScratch, u int) {
 		if !o.alive[u] {
 			out[u] = out[u][:0]

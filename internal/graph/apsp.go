@@ -90,28 +90,19 @@ func (g *Graph) pathStats(sources []int) PathStats {
 		wg.Add(1)
 		go func(acc *pathAccum) {
 			defer wg.Done()
-			hopDist := make([]int32, n)
-			queue := make([]int32, 0, n)
+			scratch := NewBFSScratch(n)
 			var costDist []float64
 			if g.Weights != nil {
 				costDist = make([]float64, n)
 			}
 			for src := range work {
-				ecc := g.BFS(src, hopDist, queue)
+				ecc, reached, sum := g.BFSStats(src, scratch)
 				if ecc > acc.hopDiameter {
 					acc.hopDiameter = ecc
 				}
-				for v, d := range hopDist {
-					if v == src {
-						continue
-					}
-					if d == Unreachable {
-						acc.unreached++
-					} else {
-						acc.hopSum += int64(d)
-						acc.hopPairs++
-					}
-				}
+				acc.hopSum += sum
+				acc.hopPairs += reached
+				acc.unreached += int64(n-1) - reached
 				if costDist != nil {
 					wecc := g.Dijkstra(src, costDist)
 					if wecc > acc.costDiameter {
@@ -161,9 +152,11 @@ func (g *Graph) Eccentricity(u int) int {
 	return int(g.BFS(u, dist, nil))
 }
 
-// HopDiameter computes the exact hop diameter by running a BFS from
-// every node in parallel. On a disconnected graph it returns the
-// largest eccentricity within any component.
+// HopDiameter computes the exact hop diameter with the double-sweep +
+// iFUB path (a handful of BFS runs instead of N; see diameter.go). On
+// a disconnected graph it returns the largest eccentricity within any
+// component. The all-pairs AllPathStats remains the test oracle this
+// is cross-checked against.
 func (g *Graph) HopDiameter() int {
-	return g.AllPathStats().HopDiameter
+	return g.HopDiameterExact(nil).Diameter
 }

@@ -10,19 +10,31 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
+
+// sortedDegreeThreshold is the adjacency length above which a node's
+// neighbor list is kept sorted, turning the duplicate-edge check in
+// AddEdge from an O(deg) scan into an O(log deg) binary search.
+// Power-law hubs (degree ~2·sqrt(n)) would otherwise make topology
+// generation quadratic in hub degree. Below the threshold lists stay
+// in insertion order — the overlay protocol's walks and tie-breaks
+// read that order, and every capacity the core experiments use sits
+// well under it, so small-degree behavior is bit-for-bit unchanged.
+const sortedDegreeThreshold = 64
 
 // Mutable is an undirected simple graph under construction. The zero
 // value is unusable; create one with NewMutable.
 type Mutable struct {
-	adj [][]int32
-	m   int // number of undirected edges
+	adj    [][]int32
+	sorted []bool // adj[u] is maintained in ascending order
+	m      int    // number of undirected edges
 }
 
 // NewMutable returns an empty graph on n nodes (0..n-1).
 func NewMutable(n int) *Mutable {
-	return &Mutable{adj: make([][]int32, n)}
+	return &Mutable{adj: make([][]int32, n), sorted: make([]bool, n)}
 }
 
 // N returns the number of nodes.
@@ -38,8 +50,18 @@ func (g *Mutable) Degree(u int) int { return len(g.adj[u]) }
 // the graph and must not be modified by the caller.
 func (g *Mutable) Neighbors(u int) []int32 { return g.adj[u] }
 
-// HasEdge reports whether the undirected edge (u, v) exists.
+// HasEdge reports whether the undirected edge (u, v) exists. A sorted
+// endpoint is checked by binary search; otherwise the shorter list is
+// scanned.
 func (g *Mutable) HasEdge(u, v int) bool {
+	if g.sorted[u] {
+		_, ok := slices.BinarySearch(g.adj[u], int32(v))
+		return ok
+	}
+	if g.sorted[v] {
+		_, ok := slices.BinarySearch(g.adj[v], int32(u))
+		return ok
+	}
 	a := g.adj[u]
 	if len(g.adj[v]) < len(a) {
 		a, v = g.adj[v], u
@@ -58,53 +80,92 @@ func (g *Mutable) AddEdge(u, v int) bool {
 	if u == v || g.HasEdge(u, v) {
 		return false
 	}
-	g.adj[u] = append(g.adj[u], int32(v))
-	g.adj[v] = append(g.adj[v], int32(u))
+	g.insertArc(u, int32(v))
+	g.insertArc(v, int32(u))
 	g.m++
 	return true
 }
 
-// RemoveEdge deletes the undirected edge (u, v) and reports whether it
-// was present.
-func (g *Mutable) RemoveEdge(u, v int) bool {
-	if !removeFrom(&g.adj[u], int32(v)) {
-		return false
+// insertArc appends v to u's adjacency, keeping it sorted once the
+// list has crossed sortedDegreeThreshold. The caller guarantees v is
+// not already present.
+func (g *Mutable) insertArc(u int, v int32) {
+	a := g.adj[u]
+	if g.sorted[u] {
+		i, _ := slices.BinarySearch(a, v)
+		a = append(a, 0)
+		copy(a[i+1:], a[i:])
+		a[i] = v
+		g.adj[u] = a
+		return
 	}
-	removeFrom(&g.adj[v], int32(u))
-	g.m--
-	return true
+	a = append(a, v)
+	g.adj[u] = a
+	if len(a) > sortedDegreeThreshold {
+		slices.Sort(a)
+		g.sorted[u] = true
+	}
 }
 
-func removeFrom(s *[]int32, v int32) bool {
-	a := *s
+// removeArc deletes v from u's adjacency and reports whether it was
+// present. Sorted lists shift-delete to stay sorted; unsorted lists
+// swap-remove.
+func (g *Mutable) removeArc(u int, v int32) bool {
+	a := g.adj[u]
+	if g.sorted[u] {
+		i, ok := slices.BinarySearch(a, v)
+		if !ok {
+			return false
+		}
+		copy(a[i:], a[i+1:])
+		g.adj[u] = a[:len(a)-1]
+		return true
+	}
 	for i, w := range a {
 		if w == v {
 			a[i] = a[len(a)-1]
-			*s = a[:len(a)-1]
+			g.adj[u] = a[:len(a)-1]
 			return true
 		}
 	}
 	return false
 }
 
+// RemoveEdge deletes the undirected edge (u, v) and reports whether it
+// was present.
+func (g *Mutable) RemoveEdge(u, v int) bool {
+	if !g.removeArc(u, int32(v)) {
+		return false
+	}
+	g.removeArc(v, int32(u))
+	g.m--
+	return true
+}
+
 // IsolateNode removes every edge incident to u.
 func (g *Mutable) IsolateNode(u int) {
 	for _, v := range g.adj[u] {
-		removeFrom(&g.adj[v], int32(u))
+		g.removeArc(int(v), int32(u))
 		g.m--
 	}
 	g.adj[u] = g.adj[u][:0]
+	g.sorted[u] = false // an emptied node reverts to insertion order
 }
 
 // AddNode appends a new isolated node and returns its id.
 func (g *Mutable) AddNode() int {
 	g.adj = append(g.adj, nil)
+	g.sorted = append(g.sorted, false)
 	return len(g.adj) - 1
 }
 
 // Clone returns a deep copy of the graph.
 func (g *Mutable) Clone() *Mutable {
-	c := &Mutable{adj: make([][]int32, len(g.adj)), m: g.m}
+	c := &Mutable{
+		adj:    make([][]int32, len(g.adj)),
+		sorted: append([]bool(nil), g.sorted...),
+		m:      g.m,
+	}
 	for i, a := range g.adj {
 		c.adj[i] = append([]int32(nil), a...)
 	}
@@ -146,10 +207,17 @@ func (g *Graph) HasEdge(u, v int) bool {
 // WeightFunc supplies the latency (cost) of an edge.
 type WeightFunc func(u, v int) float64
 
-// Freeze converts the mutable graph to CSR form. When latency is
-// non-nil, per-half-edge weights are recorded; they must be symmetric
-// (latency(u,v) == latency(v,u)) for shortest-path results to be
-// meaningful on an undirected graph.
+// Freeze converts the mutable graph to CSR form: one shared arena of
+// half-edges plus per-node offsets. Rows come out sorted without any
+// per-node sort — because node ids are visited in ascending order and
+// each arc (v ∈ adj[u] ⟺ u ∈ adj[v]) is placed into its endpoint's row
+// exactly once, every row fills in ascending neighbor order. The whole
+// freeze is O(N+M), which is what makes freezing a 10⁶-node overlay a
+// sub-second operation instead of a million small sorts.
+//
+// When latency is non-nil, per-half-edge weights are recorded; they
+// must be symmetric (latency(u,v) == latency(v,u)) for shortest-path
+// results to be meaningful on an undirected graph.
 func (g *Mutable) Freeze(latency WeightFunc) *Graph {
 	n := g.N()
 	offsets := make([]int32, n+1)
@@ -157,18 +225,25 @@ func (g *Mutable) Freeze(latency WeightFunc) *Graph {
 		offsets[u+1] = offsets[u] + int32(len(g.adj[u]))
 	}
 	edges := make([]int32, offsets[n])
-	for u := 0; u < n; u++ {
-		copy(edges[offsets[u]:offsets[u+1]], g.adj[u])
-		nb := edges[offsets[u]:offsets[u+1]]
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
-	}
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
 	fg := &Graph{Offsets: offsets, Edges: edges}
-	if latency != nil {
-		fg.Weights = make([]float64, len(edges))
-		for u := 0; u < n; u++ {
-			for i := offsets[u]; i < offsets[u+1]; i++ {
-				fg.Weights[i] = latency(u, int(edges[i]))
+	if latency == nil {
+		for v := 0; v < n; v++ {
+			for _, u := range g.adj[v] {
+				edges[cursor[u]] = int32(v)
+				cursor[u]++
 			}
+		}
+		return fg
+	}
+	fg.Weights = make([]float64, len(edges))
+	for v := 0; v < n; v++ {
+		for _, u := range g.adj[v] {
+			c := cursor[u]
+			edges[c] = int32(v)
+			fg.Weights[c] = latency(int(u), v)
+			cursor[u]++
 		}
 	}
 	return fg

@@ -5,8 +5,6 @@
 package sim
 
 import (
-	"container/heap"
-
 	"makalu/internal/obs"
 )
 
@@ -35,23 +33,72 @@ type event struct {
 	do  func()
 }
 
+// eventHeap is an inlined 4-ary min-heap ordered by (at, seq). A
+// 4-ary layout halves the tree height of a binary heap and keeps the
+// four children of a node in one cache line of events, and inlining
+// the sift loops (instead of going through container/heap's
+// sort.Interface) removes the interface{} boxing allocation that the
+// standard library's Push forces on every scheduled event — the
+// dynamic experiments schedule millions.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// before is the strict ordering: earlier time first, scheduling order
+// breaking ties, which is what makes the engine deterministic.
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push appends ev and sifts it up. Parent of i is (i-1)/4.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.before(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event. Children of i are
+// 4i+1..4i+4; the vacated tail slot's closure reference is cleared so
+// executed events do not pin their captures in the heap's backing
+// array.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n].do = nil
+	q = q[:n]
+	*h = q
+
+	i := 0
+	for {
+		min := i
+		c := 4*i + 1
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for ; c < end; c++ {
+			if q.before(c, min) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }
 
 // Now returns the current simulated time.
@@ -79,7 +126,7 @@ func (e *Engine) ScheduleAt(t float64, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	heap.Push(&e.pq, event{at: t, seq: e.seq, do: fn})
+	e.pq.push(event{at: t, seq: e.seq, do: fn})
 	e.seq++
 }
 
@@ -88,7 +135,7 @@ func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pq.pop()
 	e.now = ev.at
 	e.ran++
 	ev.do()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 
 	"makalu/internal/core"
@@ -189,5 +190,75 @@ func TestSnapshotOfHealthyOverlay(t *testing.T) {
 	}
 	if snap.MeanDegree < 4 {
 		t.Fatalf("mean degree %.1f", snap.MeanDegree)
+	}
+}
+
+func TestEngineHeapRandomizedOrdering(t *testing.T) {
+	// Property test for the inlined 4-ary heap: any interleaving of
+	// schedules (including nested re-scheduling mid-run) must fire
+	// events in nondecreasing time with ties in scheduling order —
+	// i.e. exactly the order of a stable sort by timestamp.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := &Engine{}
+		nEvents := 1 + rng.Intn(400)
+		type fired struct {
+			at  float64
+			seq int
+		}
+		var got []fired
+		seq := 0
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			// Coarse timestamps force plenty of ties; times in the past
+			// clamp to the current clock, exactly as ScheduleAt does.
+			at := float64(rng.Intn(20))
+			if at < e.Now() {
+				at = e.Now()
+			}
+			id := seq
+			seq++
+			e.ScheduleAt(at, func() {
+				got = append(got, fired{at: at, seq: id})
+				if depth < 2 && rng.Intn(4) == 0 {
+					schedule(depth + 1)
+				}
+			})
+		}
+		for i := 0; i < nEvents; i++ {
+			schedule(0)
+		}
+		e.Run()
+		if len(got) != seq {
+			t.Fatalf("trial %d: fired %d of %d events", trial, len(got), seq)
+		}
+		for i := 1; i < len(got); i++ {
+			prev, cur := got[i-1], got[i]
+			if cur.at < prev.at || (cur.at == prev.at && cur.seq < prev.seq) {
+				t.Fatalf("trial %d: event %d (at=%v seq=%d) fired after (at=%v seq=%d)",
+					trial, i, cur.at, cur.seq, prev.at, prev.seq)
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("trial %d: %d events left pending", trial, e.Pending())
+		}
+	}
+}
+
+func TestEngineHeapClearsPoppedClosure(t *testing.T) {
+	// The vacated tail slot must not keep a reference to an executed
+	// event's closure (it would pin captured memory for the life of
+	// the heap's backing array).
+	e := &Engine{}
+	for i := 0; i < 8; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	for e.Step() {
+		pq := e.pq
+		if n := len(pq); n < cap(pq) {
+			if tail := pq[:cap(pq)][n]; tail.do != nil {
+				t.Fatal("popped heap slot retains its closure")
+			}
+		}
 	}
 }
