@@ -270,6 +270,30 @@ func benchCore(rep *benchReport) error {
 		rep.add(name, 0, metrics, r)
 	}
 
+	// Build throughput on the batched join-wave constructor
+	// (Config.JoinWave) at a size where the join walks already stride
+	// well past L2. The nodes/sec metric is the committed
+	// build-throughput baseline; the ns/op figure is what the CI
+	// regression gate compares, so a reversion toward the old
+	// super-linear cost-per-access shows up as a >2x ratio here long
+	// before it would at 10⁶.
+	const wvn = 20000
+	wnet := netmodel.NewEuclidean(wvn, 1000, 1)
+	wr := testing.Benchmark(func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			cfg := core.DefaultConfig(wnet, int64(it))
+			cfg.JoinWave = 4096
+			if _, err := core.Build(wvn, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	wns := float64(wr.T.Nanoseconds()) / float64(wr.N)
+	rep.add("BuildOverlay/wave-20000", 0, map[string]float64{
+		"nodes/op":  wvn,
+		"nodes/sec": float64(wvn) / (wns / 1e9),
+	}, wr)
+
 	// Observability overhead: one flood batch with the BatchObs
 	// histograms off and on. The recorded overhead documents the cost
 	// of the instrumentation fast path; the PR acceptance budget is a

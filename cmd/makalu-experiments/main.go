@@ -118,7 +118,7 @@ func main() {
 		metricsJSON = flag.String("metrics-json", "", "write the metrics registry (counters, gauges, histograms) as JSON to this path at exit")
 		tracePath   = flag.String("trace", "", "write the overlay event trace as JSON lines to this path at exit")
 		metricsDump = flag.Bool("metrics-dump", false, "print an expvar-style metrics dump to stderr at exit")
-		scaleSizes  = flag.String("scale-sizes", "10000,50000,200000,1000000", "comma-separated network sizes for -exp scale")
+		scaleSizes  = flag.String("scale-sizes", "10000,50000,200000,1000000,10000000", "comma-separated network sizes for -exp scale")
 		scaleJSON   = flag.String("scale-json", "", "write the -exp scale sweep as JSON to this path (the BENCH_scale.json record)")
 		scaleLand   = flag.Int("scale-landmarks", 64, "landmark BFS sources for the sampled path length in -exp scale")
 	)

@@ -1,6 +1,8 @@
 package core
 
-import "makalu/internal/graph"
+import (
+	"makalu/internal/graph"
+)
 
 // graphUnreachable aliases the graph package's unreached marker.
 const graphUnreachable = graph.Unreachable
@@ -39,23 +41,38 @@ func (o *Overlay) randomWalkCandidates(u, seed int, out []int32) []int32 {
 	// is likewise precomputed once into the stamp array — one O(deg²)
 	// sweep for the whole walk instead of one per candidate. Γ(u) does
 	// not change while candidates are gathered, so the set stays valid.
-	s := &o.scratch
+	out, o.fallbackBuf = o.walkCandidatesOn(&o.scratch, o.rng, u, seed, out, o.fallbackBuf[:0])
+	return out
+}
+
+// walkCandidatesOn is randomWalkCandidates on an explicit scratch, rng
+// and fallback buffer, so the wave builder's concurrent join walks can
+// gather candidates without sharing state: the walk only reads the
+// overlay (adjacency, liveness, views) and writes its own scratch. The
+// rng is either the overlay's *rand.Rand (sequential trace) or a
+// per-slot waveRng stream (wave builder).
+func (o *Overlay) walkCandidatesOn(s *ratingScratch, rng intner, u, seed int, out, fallback []int32) (cands, fb []int32) {
+	if rows, vol := o.gatherViews(s, o.g.Neighbors(u)); vol <= whFallback {
+		// Small boundary: run the membership bookkeeping in the
+		// L1-resident walk table (identical output, see ratehash.go).
+		return o.walkCandidatesHash(s, rng, u, rows, seed, out, fallback)
+	}
 	s.markEpoch++
 	mep := s.markEpoch
 	s.epoch++
 	bep := s.epoch
+	cells := s.cells
 	for _, w := range o.g.Neighbors(u) {
 		for _, y := range o.neighborView(int(w)) {
-			s.stamp[y] = bep
+			cells[y].stamp = bep
 		}
 	}
-	fallback := o.fallbackBuf[:0]
 	maybeAdd := func(x int) {
-		if x == u || s.mark[x] == mep || o.g.HasEdge(u, x) || !o.alive[x] {
+		if x == u || cells[x].mark == mep || o.g.HasEdge(u, x) || !o.alive[x] {
 			return
 		}
-		s.mark[x] = mep
-		if s.stamp[x] == bep { // x ∈ Γ(u) ∪ ∂Γ(u): fallback only
+		cells[x].mark = mep
+		if cells[x].stamp == bep { // x ∈ Γ(u) ∪ ∂Γ(u): fallback only
 			fallback = append(fallback, int32(x))
 			return
 		}
@@ -68,7 +85,7 @@ func (o *Overlay) randomWalkCandidates(u, seed int, out []int32) []int32 {
 		// Walk only over alive neighbors.
 		next := -1
 		for tries := 0; tries < 4 && len(nb) > 0; tries++ {
-			cand := int(nb[o.rng.Intn(len(nb))])
+			cand := int(nb[rng.Intn(len(nb))])
 			if o.alive[cand] {
 				next = cand
 				break
@@ -95,8 +112,7 @@ func (o *Overlay) randomWalkCandidates(u, seed int, out []int32) []int32 {
 		}
 		out = append(out, f)
 	}
-	o.fallbackBuf = fallback
-	return out
+	return out, fallback
 }
 
 // connect establishes the undirected connection (u, v) and runs the
@@ -309,8 +325,7 @@ func (o *Overlay) randomAliveNode() int {
 // server.
 func (o *Overlay) RejoinFragments(maxPasses int) bool {
 	for pass := 0; pass < maxPasses; pass++ {
-		sub, order := o.FreezeAlive()
-		labels, sizes := sub.Components()
+		labels, sizes := o.aliveComponents()
 		if len(sizes) <= 1 {
 			return true
 		}
@@ -320,22 +335,22 @@ func (o *Overlay) RejoinFragments(maxPasses int) bool {
 				giant = i
 			}
 		}
-		// Gather one giant-component seed for the walks.
+		// Gather one giant-component seed for the walks: the
+		// lowest-numbered alive node of the giant component.
 		seed := -1
-		for i, l := range labels {
-			if l == int32(giant) {
-				seed = int(order[i])
+		for u := 0; u < o.g.N(); u++ {
+			if o.alive[u] && labels[u] == int32(giant) {
+				seed = u
 				break
 			}
 		}
 		if seed < 0 {
 			return false
 		}
-		for i, l := range labels {
-			if l == int32(giant) {
+		for u := 0; u < o.g.N(); u++ {
+			if !o.alive[u] || labels[u] == int32(giant) {
 				continue
 			}
-			u := int(order[i])
 			o.fillConnections(u, seed)
 			if !o.fragmentLinked(u, seed) {
 				// Last resort within the protocol: dial the seed
@@ -344,30 +359,90 @@ func (o *Overlay) RejoinFragments(maxPasses int) bool {
 			}
 		}
 	}
-	sub, _ := o.FreezeAlive()
-	return sub.IsConnected()
+	_, sizes := o.aliveComponents()
+	return len(sizes) <= 1
+}
+
+// aliveComponents labels the connected components of the alive
+// subgraph directly on the live adjacency — no CSR freeze, no latency
+// weights, no induced-subgraph copy, just one BFS sweep over reusable
+// buffers. Components are numbered in order of their lowest-id member
+// (the discovery order of an ascending scan), exactly as
+// graph.Components numbers the induced alive subgraph, so the giant
+// selection and seed choice of RejoinFragments are unchanged from the
+// freeze-based implementation it replaces. labels[u] is -1 for dead
+// nodes; sizes[c] counts component c's members.
+func (o *Overlay) aliveComponents() (labels []int32, sizes []int) {
+	n := o.g.N()
+	if cap(o.compBuf) < n {
+		o.compBuf = make([]int32, n)
+	}
+	labels = o.compBuf[:n]
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := o.queueBuf[:0]
+	for s := 0; s < n; s++ {
+		if !o.alive[s] || labels[s] != -1 {
+			continue
+		}
+		id := int32(len(sizes))
+		labels[s] = id
+		queue = append(queue[:0], int32(s))
+		size := 0
+		for head := 0; head < len(queue); head++ {
+			u := int(queue[head])
+			size++
+			for _, v := range o.g.Neighbors(u) {
+				if o.alive[v] && labels[v] == -1 {
+					labels[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	o.queueBuf = queue
+	return labels, sizes
 }
 
 // fragmentLinked reports whether u can now reach target in the live
-// overlay (cheap BFS capped by graph size).
+// overlay: an early-exit BFS over alive nodes on the live adjacency
+// (the freeze-based version rebuilt a weighted CSR per call). It runs
+// on its own generation-stamped visited buffer — never on compBuf,
+// which still holds the component labels RejoinFragments is reading —
+// so repeated calls cost O(reached), not O(n) clears.
 func (o *Overlay) fragmentLinked(u, target int) bool {
-	sub, order := o.FreezeAlive()
-	// Map original ids to subgraph ids.
-	var su, st = -1, -1
-	for i, old := range order {
-		if int(old) == u {
-			su = i
-		}
-		if int(old) == target {
-			st = i
-		}
-	}
-	if su < 0 || st < 0 {
+	if !o.alive[u] || !o.alive[target] {
 		return false
 	}
-	dist := make([]int32, sub.N())
-	sub.BFS(su, dist, nil)
-	return dist[st] != graphUnreachable
+	if u == target {
+		return true
+	}
+	n := o.g.N()
+	if cap(o.seenBuf) < n {
+		o.seenBuf = make([]int32, n)
+		o.seenGen = 0
+	}
+	seen := o.seenBuf[:n]
+	o.seenGen++
+	gen := o.seenGen
+	queue := append(o.fragQueueBuf[:0], int32(u))
+	seen[u] = gen
+	for head := 0; head < len(queue); head++ {
+		for _, v := range o.g.Neighbors(int(queue[head])) {
+			if int(v) == target {
+				o.fragQueueBuf = queue
+				return true
+			}
+			if o.alive[v] && seen[v] != gen {
+				seen[v] = gen
+				queue = append(queue, v)
+			}
+		}
+	}
+	o.fragQueueBuf = queue
+	return false
 }
 
 // SetCapacity changes node u's capacity at runtime; a reduction

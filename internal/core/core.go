@@ -85,11 +85,27 @@ type Config struct {
 	// the test oracle and for benchmarking the gap.
 	FullRecomputePrune bool
 	// Workers bounds the worker pool used by the parallel read-only
-	// phases (the ManageRound view-exchange sweep and RateAll). 0 uses
-	// one worker per CPU; 1 forces fully sequential execution. Results
-	// are independent of the worker count — phases shard per node with
-	// a deterministic merge order — so this only trades wall clock.
+	// phases (the ManageRound view-exchange sweep, RateAll, and the
+	// wave builder's walk and prune-decision passes). 0 uses one
+	// worker per CPU; 1 forces fully sequential execution. Results are
+	// independent of the worker count — phases shard per node with a
+	// deterministic merge order — so this only trades wall clock.
 	Workers int
+	// JoinWave switches construction to batched join waves: up to
+	// JoinWave nodes are admitted per epoch, their candidate walks run
+	// concurrently against a snapshot of the wave-start overlay with
+	// per-joiner seeds, accepted links commit in a fixed merge order,
+	// and one sharded management pass rebalances the wave-affected
+	// nodes. 0 or 1 keeps the sequential one-node-at-a-time build
+	// (the golden oracle the wave tests compare against). Wave builds
+	// are deterministic for a fixed seed at any worker count, but they
+	// are a different (batched) protocol schedule, so their edge sets
+	// differ from the sequential build's. See wave.go and DESIGN.md.
+	JoinWave int
+	// Obs, when non-nil, records construction metrics (join counter,
+	// wave and management-pass durations, build throughput). Nil costs
+	// one predictable branch per instrumentation point.
+	Obs *BuildObs
 	// Seed drives all randomness in construction.
 	Seed int64
 	// Tracer, when non-nil, observes every protocol action the
@@ -144,14 +160,38 @@ type Overlay struct {
 	// ProtocolViews mode; nil entries mean "never exchanged".
 	views [][]int32
 
-	scratch     ratingScratch
-	scratchPool []*ratingScratch // per-worker scratches for parallel phases
-	candBuf     []int32          // reusable candidate buffer for walks
-	fallbackBuf []int32          // reusable boundary-fallback buffer for walks
-	leaveBuf    []int32          // reusable neighbor snapshot for Leave
-	droppedBuf  []int32          // reusable dropped-neighbor buffer for internal prunes
-	openBuf     []int32          // reusable open-slot list for pairOpenSlots
-	permBuf     []int            // reusable permutation for ManageRound ordering
+	// lat is the resolved latency function: the network model's
+	// Latency method devirtualized once at Build time (with a direct
+	// fast path for the Euclidean plane, the hot model). Every rating
+	// computation routes through it instead of the Model interface.
+	lat func(u, v int) float64
+
+	scratch      ratingScratch
+	scratchPool  []*ratingScratch // per-worker scratches for parallel phases
+	candBuf      []int32          // reusable candidate buffer for walks
+	fallbackBuf  []int32          // reusable boundary-fallback buffer for walks
+	leaveBuf     []int32          // reusable neighbor snapshot for Leave
+	droppedBuf   []int32          // reusable dropped-neighbor buffer for internal prunes
+	openBuf      []int32          // reusable open-slot list for pairOpenSlots
+	permBuf      []int            // reusable permutation for ManageRound ordering
+	compBuf      []int32          // reusable component labels for connectivity checks
+	queueBuf     []int32          // reusable BFS queue for aliveComponents
+	seenBuf      []int32          // generation-stamped visited marks for fragmentLinked
+	seenGen      int32
+	fragQueueBuf []int32 // reusable BFS queue for fragmentLinked
+
+	wave *waveState // batched join-wave machinery (nil until first wave build)
+}
+
+// resolveLatency devirtualizes the network model's Latency method.
+// The Euclidean plane — the paper's primary model and the one every
+// scale run uses — gets a direct closure over the packed coordinate
+// array; anything else pays the interface call it always paid.
+func resolveLatency(m netmodel.Model) func(u, v int) float64 {
+	if e, ok := m.(*netmodel.Euclidean); ok {
+		return e.Latency
+	}
+	return m.Latency
 }
 
 // perm fills the overlay's reusable permutation buffer with a random
@@ -197,11 +237,11 @@ func Build(n int, cfg Config) (*Overlay, error) {
 	}
 	o := &Overlay{
 		cfg:   cfg,
-		g:     graph.NewMutable(n),
 		alive: make([]bool, n),
 		nLive: n,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		views: make([][]int32, n),
+		lat:   resolveLatency(cfg.Net),
 	}
 	o.scratch.init(n)
 	if cfg.Capacities != nil {
@@ -213,44 +253,83 @@ func Build(n int, cfg Config) (*Overlay, error) {
 			o.caps[i] = 8 + capRng.Intn(7) // uniform [8,14], mean 11
 		}
 	}
+	// Adjacency rows live in one contiguous slab sized from the known
+	// capacities (plus headroom for provisional accepts and wave
+	// bursts), so a build does not grow a million small slices and the
+	// rating sweeps read cache-dense rows. A node pushed past its
+	// reserved row by forced edges simply reallocates out of the slab.
+	// Wave builds stack up to waveAcceptSlack provisional links per
+	// node between drains, so their rows reserve that much.
+	headroom := 4
+	if cfg.JoinWave > 1 && headroom < waveAcceptSlack+1 {
+		headroom = waveAcceptSlack + 1
+	}
+	o.g = graph.NewMutableSlab(n, func(u int) int { return o.caps[u] + headroom })
 	for i := range o.alive {
 		o.alive[i] = true
 	}
 	if cfg.Views == ProtocolViews {
 		// Back every node's exchanged view with a slot in one flat
 		// arena instead of n little slices. A view never outgrows
-		// capacity+1 (a provisional accept holds at most one excess
-		// link when refreshView runs), so capacity+2 headroom means the
+		// capacity+1 in the sequential build (a provisional accept
+		// holds at most one excess link when refreshView runs) or
+		// capacity+waveAcceptSlack in a wave build, so sizing rows
+		// with the same headroom as the adjacency slab means the
 		// append in refreshView never reallocates; if a capacity is
 		// raised later the view falls back to its own allocation.
+		vh := 2
+		if cfg.JoinWave > 1 {
+			vh = headroom
+		}
 		total := 0
 		for _, c := range o.caps {
-			total += c + 2
+			total += c + vh
 		}
 		arena := make([]int32, total)
 		off := 0
 		for i, c := range o.caps {
-			o.views[i] = arena[off : off : off+c+2]
-			off += c + 2
+			o.views[i] = arena[off : off : off+c+vh]
+			off += c + vh
 		}
 	}
 
-	// Join phase: nodes join in random order so physical locality does
-	// not correlate with join time.
-	order := o.rng.Perm(n)
+	if cfg.JoinWave > 1 {
+		// Batched wave construction: K joiners admitted per epoch with
+		// concurrent candidate walks, batched link commits and sharded
+		// management passes. See wave.go.
+		o.buildWaves(n)
+		return o, nil
+	}
+
+	buildStart := buildClock(cfg.Obs)
+
+	// Join phase: nodes join one at a time, in random order so physical
+	// locality does not correlate with join time. The permutation fills
+	// the reusable permBuf instead of allocating a fresh O(n) slice per
+	// build, but must reproduce rand.Perm's draws bit for bit — which
+	// include one Intn(1) burned at i=0 (kept in math/rand for stream
+	// compatibility; the perm helper itself skips it).
+	if n > 0 {
+		o.rng.Intn(1)
+	}
+	order := o.perm(n)
 	joined := make([]int32, 0, n)
 	for _, u := range order {
 		o.join(u, joined)
 		joined = append(joined, int32(u))
+		cfg.Obs.join()
 	}
 	// Management phase.
 	for r := 0; r < cfg.ManageRounds; r++ {
+		ms := buildClock(cfg.Obs)
 		o.ManageRound()
+		cfg.Obs.managePass(ms)
 	}
 	// The paper's Manage() loop runs until disconnect; emulate the
 	// steady state by letting stray fragments (usually none, at most a
 	// node pair that formed in the last round) bootstrap back in.
 	o.RejoinFragments(3)
+	cfg.Obs.buildDone(buildStart, n)
 	return o, nil
 }
 
@@ -273,7 +352,7 @@ func (o *Overlay) Graph() *graph.Mutable { return o.g }
 // from the network model. Failed nodes appear as isolated vertices;
 // use FreezeAlive to drop them.
 func (o *Overlay) Freeze() *graph.Graph {
-	return o.g.Freeze(func(u, v int) float64 { return o.cfg.Net.Latency(u, v) })
+	return o.g.Freeze(o.lat)
 }
 
 // FreezeAlive returns the frozen subgraph induced on alive nodes plus

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"time"
+
+	"makalu/internal/obs"
+)
+
+// BuildObs threads the observability layer through overlay
+// construction: how many nodes have joined, how long each join wave
+// and each management pass took, and the build's end-to-end node
+// throughput. All fields are optional; the instruments are obs's
+// nil-safe types and a nil *BuildObs is itself a no-op receiver, so an
+// uninstrumented build pays one predictable branch per hook (pinned by
+// the AllocsPerRun test alongside the other nil-receiver guards).
+type BuildObs struct {
+	// Joins counts admitted nodes (one increment per join, in both the
+	// sequential and the wave build).
+	Joins *obs.Counter
+	// WaveNs records the wall-clock duration of each join wave in
+	// nanoseconds (wave builds only; the sequential build has no wave
+	// boundary to time).
+	WaveNs *obs.Histogram
+	// ManagePassNs records the duration of each management pass in
+	// nanoseconds: ManageRound calls during a sequential build, the
+	// sharded wave management passes during a wave build.
+	ManagePassNs *obs.Histogram
+	// NodesPerSec is set once at the end of Build to the overall
+	// construction throughput (nodes joined per wall-clock second).
+	NodesPerSec *obs.Gauge
+}
+
+// buildClock returns the wall-clock start of a timed section, or the
+// zero time when nothing is instrumented — the time.Now call itself is
+// skipped for uninstrumented builds.
+func buildClock(b *BuildObs) time.Time {
+	if b == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// join records one admitted node.
+func (b *BuildObs) join() {
+	if b == nil {
+		return
+	}
+	b.Joins.Inc()
+}
+
+// wave records a completed join wave started at the given clock.
+func (b *BuildObs) wave(start time.Time) {
+	if b == nil {
+		return
+	}
+	b.WaveNs.Since(start)
+}
+
+// managePass records a completed management pass started at the given
+// clock.
+func (b *BuildObs) managePass(start time.Time) {
+	if b == nil {
+		return
+	}
+	b.ManagePassNs.Since(start)
+}
+
+// buildDone records the end-to-end throughput of a build of n nodes
+// started at the given clock.
+func (b *BuildObs) buildDone(start time.Time, n int) {
+	if b == nil {
+		return
+	}
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.NodesPerSec.Set(int64(float64(n) / el))
+	}
+}

@@ -32,11 +32,11 @@ func (o *Overlay) scratchFor(i int) *ratingScratch {
 	}
 	for len(o.scratchPool) < i {
 		s := &ratingScratch{}
-		s.init(len(o.scratch.count))
+		s.init(len(o.scratch.cells))
 		o.scratchPool = append(o.scratchPool, s)
 	}
 	s := o.scratchPool[i-1]
-	s.grow(len(o.scratch.count))
+	s.grow(len(o.scratch.cells))
 	return s
 }
 

@@ -2,6 +2,19 @@ package core
 
 import "math"
 
+// nodeCell packs the per-node epoch-stamped marks a rating evaluation
+// touches for one candidate node x into a single 16-byte struct, so
+// the O(deg²) random-access sweep over neighbor views costs one cache
+// line per visited node instead of three (stamp, count and exclude
+// used to live in separate arrays — at 10⁶+ nodes each was its own
+// guaranteed miss, and the sweep is ~70% of overlay construction).
+type nodeCell struct {
+	stamp   int32 // epoch when count was last touched
+	exclude int32 // epoch when x was marked as Γ(u) ∪ {u}
+	count   int32 // how many of u's neighbors can reach x
+	mark    int32 // walk-candidate membership epoch (randomWalkCandidates)
+}
+
 // ratingScratch holds the epoch-stamped counting arrays that make one
 // rating evaluation O(deg²) with no allocation. The Overlay owns one
 // scratch for the sequential protocol trace plus a lazily-grown pool
@@ -10,51 +23,62 @@ import "math"
 // shared between goroutines.
 type ratingScratch struct {
 	epoch   int32
-	count   []int32 // how many of u's neighbors can reach x
-	stamp   []int32 // epoch when count[x] was last touched
-	exclude []int32 // epoch when x was marked as Γ(u) ∪ {u}
-	touched []int32 // nodes with count stamped this epoch
+	cells   []nodeCell // per-node stamp/exclude/count/mark, one cache line
+	touched []int32    // nodes with count stamped this epoch
 
 	// Incremental-prune state (see pruneIncremental): ownerSum[x] is
 	// the sum of the neighbor ids whose views contain x, so when
-	// count[x] == 1 it identifies the sole contributing neighbor
+	// cells[x].count == 1 it identifies the sole contributing neighbor
 	// without a search; uniq[w] is the running |R(u,w)| per neighbor;
 	// lat[w] caches the raw link latency d(u,w), which is invariant
-	// across removals.
+	// across removals. These stay separate from the cells: they are
+	// only indexed by the O(deg) current neighbors (whose lines stay
+	// hot for the whole call), not by the O(deg²) swept candidates.
 	ownerSum []int64
 	uniq     []int32
 	lat      []float64
 
-	// Walk-candidate membership marks (randomWalkCandidates): a node
-	// is in the current candidate or fallback list iff mark[x] equals
-	// markEpoch. Separate epoch counter so candidate gathering and
-	// rating calls never invalidate each other.
-	mark      []int32
+	// markEpoch versions the mark field of the cells: a node is in the
+	// current walk candidate or fallback list iff cells[x].mark equals
+	// markEpoch. Separate counter so candidate gathering and rating
+	// calls never invalidate each other.
 	markEpoch int32
 
 	ratingBuf []RatingInfo // reusable result buffer for pruning
+	wnb       []int32      // local neighbor copy for virtual prunes (wave.go)
+	rows      [][]int32    // pre-gathered view rows (gatherViews)
+
+	// L1-resident kernels (ratehash.go): the rating hash tables
+	// (single-victim, multi-victim, walk membership), their used-slot
+	// lists, the position-indexed uniq/latency buffers, and the
+	// multi-victim survivor permutation.
+	wh     []whEntry
+	whUsed []int32
+	wm     []wmEntry
+	wmUsed []int32
+	wc     []wcEntry
+	wcUsed []int32
+	puniq  []int32
+	plat   []float64
+	pord   []int32
+
+	touchSink int32 // keeps gatherViews' prefetch loads live
 }
 
 func (s *ratingScratch) init(n int) {
-	s.count = make([]int32, n)
-	s.stamp = make([]int32, n)
-	s.exclude = make([]int32, n)
+	s.cells = make([]nodeCell, n)
 	s.ownerSum = make([]int64, n)
 	s.uniq = make([]int32, n)
 	s.lat = make([]float64, n)
-	s.mark = make([]int32, n)
 	s.touched = make([]int32, 0, 256)
 }
 
 func (s *ratingScratch) grow(n int) {
-	for len(s.count) < n {
-		s.count = append(s.count, 0)
-		s.stamp = append(s.stamp, 0)
-		s.exclude = append(s.exclude, 0)
+	for len(s.cells) < n {
+		s.cells = append(s.cells, nodeCell{})
 		s.ownerSum = append(s.ownerSum, 0)
 		s.uniq = append(s.uniq, 0)
 		s.lat = append(s.lat, 0)
-		s.mark = append(s.mark, 0)
 	}
 }
 
@@ -117,7 +141,7 @@ func (o *Overlay) latencyExtremes(u int, nb []int32) (dmax, dmin float64) {
 	dmax = 0.0
 	dmin = math.Inf(1)
 	for _, w := range nb {
-		d := o.cfg.Net.Latency(u, int(w))
+		d := o.lat(u, int(w))
 		if d > dmax {
 			dmax = d
 		}
@@ -154,25 +178,27 @@ func (o *Overlay) rateNeighborsOn(s *ratingScratch, u int, out []RatingInfo) []R
 	s.epoch++
 	ep := s.epoch
 	s.touched = s.touched[:0]
+	cells := s.cells
 
 	// Mark Γ(u) ∪ {u} as excluded from boundary and unique sets.
-	s.exclude[u] = ep
+	cells[u].exclude = ep
 	for _, w := range nb {
-		s.exclude[w] = ep
+		cells[w].exclude = ep
 	}
 	// Count, for every node x in some neighbor's view, the number of
 	// u's neighbors whose view contains x.
 	for _, w := range nb {
 		for _, x := range o.neighborView(int(w)) {
-			if s.exclude[x] == ep {
+			c := &cells[x]
+			if c.exclude == ep {
 				continue
 			}
-			if s.stamp[x] != ep {
-				s.stamp[x] = ep
-				s.count[x] = 1
+			if c.stamp != ep {
+				c.stamp = ep
+				c.count = 1
 				s.touched = append(s.touched, x)
 			} else {
-				s.count[x]++
+				c.count++
 			}
 		}
 	}
@@ -182,11 +208,12 @@ func (o *Overlay) rateNeighborsOn(s *ratingScratch, u int, out []RatingInfo) []R
 	for _, w := range nb {
 		unique := 0
 		for _, x := range o.neighborView(int(w)) {
-			if s.exclude[x] != ep && s.stamp[x] == ep && s.count[x] == 1 {
+			c := &cells[x]
+			if c.exclude != ep && c.stamp == ep && c.count == 1 {
 				unique++
 			}
 		}
-		d := o.cfg.Net.Latency(u, int(w))
+		d := o.lat(u, int(w))
 		if d < minPositiveLatency {
 			d = minPositiveLatency
 		}
@@ -283,6 +310,7 @@ func (o *Overlay) pruneIncremental(u int, dropped []int32) []int32 {
 	s.epoch++
 	ep := s.epoch
 	nb := o.g.Neighbors(u)
+	cells := s.cells
 
 	// Fused state build: one pass over all views. Unlike RateNeighbors,
 	// nodes of Γ(u) ∪ {u} are counted too (with the exclude mark kept
@@ -290,29 +318,30 @@ func (o *Overlay) pruneIncremental(u int, dropped []int32) []int32 {
 	// and its membership in the boundary is then read off count[v].
 	// Link latencies are cached up front — d(u,w) never changes while
 	// links are only removed.
-	s.exclude[u] = ep
+	cells[u].exclude = ep
 	for _, w := range nb {
-		s.exclude[w] = ep
+		cells[w].exclude = ep
 		s.uniq[w] = 0
-		s.lat[w] = o.cfg.Net.Latency(u, int(w))
+		s.lat[w] = o.lat(u, int(w))
 	}
 	boundary := 0
 	for _, w := range nb {
 		wid := int64(w)
 		for _, x := range o.neighborView(int(w)) {
-			if s.stamp[x] != ep {
-				s.stamp[x] = ep
-				s.count[x] = 1
+			c := &cells[x]
+			if c.stamp != ep {
+				c.stamp = ep
+				c.count = 1
 				s.ownerSum[x] = wid
-				if s.exclude[x] != ep {
+				if c.exclude != ep {
 					boundary++
 					s.uniq[w]++ // provisional: x unique to w so far
 				}
 			} else {
-				if s.exclude[x] != ep && s.count[x] == 1 {
+				if c.exclude != ep && c.count == 1 {
 					s.uniq[s.ownerSum[x]]-- // second owner: no longer unique
 				}
-				s.count[x]++
+				c.count++
 				s.ownerSum[x] += wid
 			}
 		}
@@ -362,12 +391,13 @@ func (o *Overlay) pruneIncremental(u int, dropped []int32) []int32 {
 		// mode the removal would otherwise mutate the view under us).
 		vid := int64(v)
 		for _, x := range o.neighborView(v) {
-			s.count[x]--
+			c := &cells[x]
+			c.count--
 			s.ownerSum[x] -= vid
-			if s.exclude[x] == ep {
+			if c.exclude == ep {
 				continue
 			}
-			switch s.count[x] {
+			switch c.count {
 			case 1:
 				s.uniq[s.ownerSum[x]]++ // sole owner again
 			case 0:
@@ -377,10 +407,10 @@ func (o *Overlay) pruneIncremental(u int, dropped []int32) []int32 {
 		o.disconnect(u, v)
 		// v left Γ(u): it is boundary material now if any surviving
 		// neighbor's view still reaches it.
-		s.exclude[v] = 0
-		if s.stamp[v] == ep && s.count[v] > 0 {
+		cells[v].exclude = 0
+		if cells[v].stamp == ep && cells[v].count > 0 {
 			boundary++
-			if s.count[v] == 1 {
+			if cells[v].count == 1 {
 				s.uniq[s.ownerSum[v]]++
 			}
 		}
@@ -392,36 +422,57 @@ func (o *Overlay) pruneIncremental(u int, dropped []int32) []int32 {
 // per-neighbor unique counts in a single fused pass over the views:
 // the first (non-excluded) sighting of x credits its owner w and joins
 // the boundary; a second sighting revokes the credit. The owner is
-// parked in the count array (-1 once multi-owned) — no counts, owner
+// parked in the count field (-1 once multi-owned) — no counts, owner
 // sums or subtraction bookkeeping are needed because nothing reads the
 // state after the removal. Scores route through scoreTerms, so the
 // victim matches the full-recompute oracle's bit for bit.
 func (o *Overlay) pruneSingle(u int, dropped []int32) []int32 {
-	s := &o.scratch
+	v := o.pruneSingleVictim(&o.scratch, u)
+	o.disconnect(u, v)
+	return append(dropped, int32(v))
+}
+
+// pruneSingleVictim picks pruneSingle's victim without mutating the
+// graph, on an explicit scratch (shared by the sequential path and the
+// wave builder's concurrent prune-decision pass). Calls within the L1
+// kernel's volume limit take the hash path (identical victim, see
+// ratehash.go); oversized neighborhoods use the global-array sweep.
+func (o *Overlay) pruneSingleVictim(s *ratingScratch, u int) int {
+	nb := o.g.Neighbors(u)
+	if rows, vol := o.gatherViews(s, nb); vol <= whFallback {
+		return o.pruneVictimHash(s, u, nb, rows)
+	}
+	return o.pruneSingleVictimWide(s, u)
+}
+
+// pruneSingleVictimWide is the global-array fallback kernel.
+func (o *Overlay) pruneSingleVictimWide(s *ratingScratch, u int) int {
 	s.epoch++
 	ep := s.epoch
 	nb := o.g.Neighbors(u)
+	cells := s.cells
 
-	s.exclude[u] = ep
+	cells[u].exclude = ep
 	for _, w := range nb {
-		s.exclude[w] = ep
+		cells[w].exclude = ep
 		s.uniq[w] = 0
-		s.lat[w] = o.cfg.Net.Latency(u, int(w))
+		s.lat[w] = o.lat(u, int(w))
 	}
 	boundary := 0
 	for _, w := range nb {
 		for _, x := range o.neighborView(int(w)) {
-			if s.exclude[x] == ep {
+			c := &cells[x]
+			if c.exclude == ep {
 				continue
 			}
-			if s.stamp[x] != ep {
-				s.stamp[x] = ep
-				s.count[x] = int32(w) // park the provisional owner
+			if c.stamp != ep {
+				c.stamp = ep
+				c.count = int32(w) // park the provisional owner
 				s.uniq[w]++
 				boundary++
-			} else if own := s.count[x]; own >= 0 {
+			} else if own := c.count; own >= 0 {
 				s.uniq[own]--
-				s.count[x] = -1
+				c.count = -1
 			}
 		}
 	}
@@ -452,9 +503,7 @@ func (o *Overlay) pruneSingle(u int, dropped []int32) []int32 {
 			worst, worstScore = i, score
 		}
 	}
-	v := int(nb[worst])
-	o.disconnect(u, v)
-	return append(dropped, int32(v))
+	return int(nb[worst])
 }
 
 // disconnect tears down the edge (u, v) with tracing and view refresh,

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"time"
 
+	"makalu/internal/core"
 	"makalu/internal/graph"
+	"makalu/internal/netmodel"
 )
 
 // The -scale experiment sweeps overlay construction and topology
@@ -92,7 +94,7 @@ func scaleOne(n, landmarks int, seed int64) (ScaleRow, error) {
 	row := ScaleRow{N: n}
 
 	start := time.Now()
-	nw, err := BuildMakalu(n, seed)
+	nw, err := buildMakaluScale(n, seed)
 	if err != nil {
 		return row, err
 	}
@@ -143,11 +145,43 @@ func scaleOne(n, landmarks int, seed int64) (ScaleRow, error) {
 		}
 	}
 
+	// Force a collection before sampling, so HeapAlloc reports the live
+	// set of this row's structures instead of live set plus whatever
+	// garbage the build left behind — without it the number swings with
+	// GC pacing and overstates small rows that follow big ones. The
+	// KeepAlive calls below pin the network and CSR graph across the
+	// collection; their last real use is above, so an unpinned GC here
+	// would free exactly the structures the sample is meant to weigh.
+	runtime.GC()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	row.HeapAllocMB = float64(ms.HeapAlloc) / (1 << 20)
 	row.HeapSysMB = float64(ms.HeapSys) / (1 << 20)
+	runtime.KeepAlive(nw)
+	runtime.KeepAlive(g)
 	return row, nil
+}
+
+// scaleWaveSize is the join-wave batch used for sizes past the paper's
+// analysis ceiling. Paper-scale rows (≤ scaleOracleLimit) keep the
+// sequential build so the committed record stays directly comparable
+// with the all-pairs-oracle-era numbers; the large rows are where the
+// sequential build's cache-miss wall lives, and the batched wave build
+// is the only way 10⁷ nodes finishes at all.
+const scaleWaveSize = 4096
+
+func buildMakaluScale(n int, seed int64) (*Network, error) {
+	if n <= scaleOracleLimit {
+		return BuildMakalu(n, seed)
+	}
+	net := netmodel.NewEuclidean(n, 1000, seed)
+	cfg := core.DefaultConfig(net, seed)
+	cfg.JoinWave = scaleWaveSize
+	o, err := core.Build(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{Name: TopoMakalu, Graph: o.Freeze(), Overlay: o}, nil
 }
 
 // Render prints the sweep as a paper-style table.
