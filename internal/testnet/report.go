@@ -1,0 +1,143 @@
+package testnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Row is one BENCH_testnet.json record: the aggregate outcome of one
+// multi-process run at a given (nodes, capacity, kill) point.
+type Row struct {
+	Nodes            int     `json:"nodes"`
+	Capacity         int     `json:"capacity"`
+	KillFraction     float64 `json:"kill_fraction"`
+	Seed             int64   `json:"seed"`
+	ManageIntervalMS float64 `json:"manage_interval_ms"`
+
+	// Convergence: live mean degree vs the simulator's at equal size
+	// and capacity (the acceptance gate is within 10%).
+	SimMeanDegree float64       `json:"sim_mean_degree"`
+	Degrees       DegreeSummary `json:"degrees"`
+	Converged     bool          `json:"converged"`
+	SpawnSeconds  float64       `json:"spawn_seconds"`
+
+	// Kill wave: which fraction died, the deterministic schedule's
+	// fingerprint, and how fast the survivors cleaned up.
+	Killed            int           `json:"killed"`
+	Survivors         int           `json:"survivors"`
+	KillScheduleHash  string        `json:"kill_schedule_hash"`
+	EvictWindowMS     float64       `json:"evict_window_ms"`
+	EvictWithinWindow float64       `json:"evict_within_window_fraction"`
+	EvictP50MS        float64       `json:"evict_p50_ms"`
+	EvictP95MS        float64       `json:"evict_p95_ms"`
+	PostKillDegrees   DegreeSummary `json:"post_kill_degrees"`
+
+	// Query load, measured by a driver-side live peer joined to the
+	// network over real TCP: success rate and latency to first hit,
+	// before and after the kill wave.
+	QuerySuccessPre  float64        `json:"query_success_pre"`
+	QuerySuccessPost float64        `json:"query_success_post"`
+	QueryPre         LatencySummary `json:"query_latency_pre"`
+	QueryPost        LatencySummary `json:"query_latency_post"`
+
+	// Partition phase (nil when the run had none).
+	Partition *PartitionResult `json:"partition,omitempty"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// PartitionResult records the deny-list partition phase: the cut must
+// drain cross-group edges to zero, and the heal must bring them back.
+type PartitionResult struct {
+	Fraction        float64 `json:"fraction"`
+	GroupA          int     `json:"group_a"`
+	GroupB          int     `json:"group_b"`
+	CrossEdgesHeld  int     `json:"cross_edges_during_hold"`
+	CrossEdgesHeal  int     `json:"cross_edges_after_heal"`
+	PartitionedOK   bool    `json:"partitioned"`
+	HealedOK        bool    `json:"healed"`
+	HoldSeconds     float64 `json:"hold_seconds"`
+	HealWaitSeconds float64 `json:"heal_wait_seconds"`
+}
+
+// Report is the BENCH_testnet.json document.
+type Report struct {
+	Generated string `json:"generated"`
+	Host      string `json:"host,omitempty"`
+	Rows      []Row  `json:"rows"`
+}
+
+// LoadReport parses an existing BENCH_testnet.json.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("testnet: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// MergeRow inserts row into the report, replacing any existing row
+// with the same (nodes, capacity, kill_fraction) point so repeated
+// runs update in place.
+func (r *Report) MergeRow(row Row) {
+	for i, old := range r.Rows {
+		if old.Nodes == row.Nodes && old.Capacity == row.Capacity && old.KillFraction == row.KillFraction {
+			r.Rows[i] = row
+			return
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// WriteFile writes the report as indented JSON, stamping Generated.
+func (r *Report) WriteFile(path string) error {
+	r.Generated = time.Now().UTC().Format(time.RFC3339)
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}
+
+// CompareBaseline checks row against the committed baseline report,
+// mirroring the bench-regression gate: the matching row (same nodes,
+// capacity, kill fraction) must exist, the converged mean degree must
+// sit within degTol of the baseline's, and the post-kill query p99
+// must not exceed latFactor times the baseline's. Returns an error
+// describing the first regression found.
+func CompareBaseline(row Row, baselinePath string, degTol, latFactor float64) error {
+	base, err := LoadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	for _, b := range base.Rows {
+		if b.Nodes != row.Nodes || b.Capacity != row.Capacity || b.KillFraction != row.KillFraction {
+			continue
+		}
+		if b.Degrees.Mean > 0 {
+			rel := row.Degrees.Mean/b.Degrees.Mean - 1
+			if rel < -degTol || rel > degTol {
+				return fmt.Errorf("testnet: mean degree %.2f deviates %+.1f%% from baseline %.2f (tolerance ±%.0f%%)",
+					row.Degrees.Mean, rel*100, b.Degrees.Mean, degTol*100)
+			}
+		}
+		if b.KillScheduleHash != "" && b.Seed == row.Seed && b.KillScheduleHash != row.KillScheduleHash {
+			return fmt.Errorf("testnet: kill schedule hash %s != baseline %s at equal seed — determinism regression",
+				row.KillScheduleHash, b.KillScheduleHash)
+		}
+		if b.QueryPost.P99 > 0 && row.QueryPost.P99 > latFactor*b.QueryPost.P99 {
+			return fmt.Errorf("testnet: post-kill query p99 %.1fms > %.1fx baseline %.1fms",
+				row.QueryPost.P99, latFactor, b.QueryPost.P99)
+		}
+		return nil
+	}
+	return fmt.Errorf("testnet: no baseline row for nodes=%d capacity=%d kill=%.2f in %s",
+		row.Nodes, row.Capacity, row.KillFraction, baselinePath)
+}

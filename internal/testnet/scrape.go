@@ -1,0 +1,123 @@
+package testnet
+
+import (
+	"sort"
+
+	"makalu/internal/stats"
+)
+
+// Scrape collects the latest status snapshot of every listed node.
+// Missing or unreadable files (a node that has not written yet, or
+// died mid-run) are skipped; the returned map is keyed by node index.
+func (s *Supervisor) Scrape(indices []int) map[int]NodeStatus {
+	out := make(map[int]NodeStatus, len(indices))
+	for _, i := range indices {
+		p := s.Proc(i)
+		if p == nil {
+			continue
+		}
+		st, err := ReadNodeStatus(p.StatusPath)
+		if err != nil {
+			continue
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// DegreeSummary condenses a scrape into the degree-distribution
+// figures the report records.
+type DegreeSummary struct {
+	Sampled int     `json:"sampled"`
+	Mean    float64 `json:"mean"`
+	P10     float64 `json:"p10"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	Min     int     `json:"min"`
+	Max     int     `json:"max"`
+}
+
+// SummarizeDegrees computes the degree distribution over a scrape.
+func SummarizeDegrees(snap map[int]NodeStatus) DegreeSummary {
+	if len(snap) == 0 {
+		return DegreeSummary{}
+	}
+	degs := make([]float64, 0, len(snap))
+	mn, mx := int(^uint(0)>>1), 0
+	for _, st := range snap {
+		degs = append(degs, float64(st.Degree))
+		if st.Degree < mn {
+			mn = st.Degree
+		}
+		if st.Degree > mx {
+			mx = st.Degree
+		}
+	}
+	sort.Float64s(degs)
+	return DegreeSummary{
+		Sampled: len(degs),
+		Mean:    stats.Mean(degs),
+		P10:     stats.SortedPercentile(degs, 10),
+		P50:     stats.SortedPercentile(degs, 50),
+		P90:     stats.SortedPercentile(degs, 90),
+		Min:     mn,
+		Max:     mx,
+	}
+}
+
+// CleanOf reports whether a status snapshot's neighbor set contains
+// none of the given addresses (the dead peers have been evicted).
+func CleanOf(st NodeStatus, dead map[string]bool) bool {
+	for _, nb := range st.Neighbors {
+		if dead[nb] {
+			return false
+		}
+	}
+	return true
+}
+
+// CrossEdges counts neighbor entries in snap that point from one
+// address group into another — the partition-integrity probe: during
+// a deny-list partition this must drain to zero, and after healing it
+// must climb back above zero.
+func CrossEdges(snap map[int]NodeStatus, group map[string]int) int {
+	cross := 0
+	for _, st := range snap {
+		g, ok := group[st.Addr]
+		if !ok {
+			continue
+		}
+		for _, nb := range st.Neighbors {
+			if og, ok := group[nb]; ok && og != g {
+				cross++
+			}
+		}
+	}
+	return cross
+}
+
+// LatencySummary condenses a latency sample (milliseconds) into the
+// tail figures the report records.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// SummarizeLatencies computes exact percentiles over a sample.
+func SummarizeLatencies(ms []float64) LatencySummary {
+	if len(ms) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	return LatencySummary{
+		Count: len(sorted),
+		P50:   stats.SortedPercentile(sorted, 50),
+		P95:   stats.SortedPercentile(sorted, 95),
+		P99:   stats.SortedPercentile(sorted, 99),
+		Max:   sorted[len(sorted)-1],
+	}
+}

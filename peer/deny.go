@@ -1,0 +1,63 @@
+package peer
+
+import "sort"
+
+// This file implements runtime peer deny lists. A denied address is
+// never dialed (Connect, refill) and its inbound handshakes are
+// dropped right after the Hello reveals the dialer's listen address.
+// The multi-process testnet harness uses symmetric deny lists to
+// partition a live network without firewall rules: both sides of the
+// cut stop dialing each other and refuse each other's dials, and
+// existing links are severed without a Bye — to the remote peer the
+// cut is indistinguishable from a network failure, so its liveness
+// machinery (backoff, refill) runs exactly as it would for a real
+// partition.
+
+// isDenied reports whether addr is on the deny list.
+func (n *Node) isDenied(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.denied[addr]
+}
+
+// Denied returns the current deny list, sorted.
+func (n *Node) Denied() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.denied))
+	for a := range n.denied {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetDenied replaces the deny list. Links to newly denied peers are
+// cut immediately — without a Bye, so the remote side sees a network
+// failure, not a clean departure. Clearing an address from the list
+// does not redial it; the management loop's refill will rediscover it
+// through neighbor views (its backoff state, if any, still applies).
+func (n *Node) SetDenied(addrs []string) {
+	next := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if a != "" {
+			next[a] = true
+		}
+	}
+	n.mu.Lock()
+	n.denied = next
+	var victims []*link
+	for addr, l := range n.conns {
+		if next[addr] && !l.byManager {
+			l.byManager = true
+			victims = append(victims, l)
+		}
+	}
+	n.mu.Unlock()
+	for _, l := range victims {
+		n.dropLink(l)
+	}
+	if len(victims) > 0 {
+		n.kickManage()
+	}
+}

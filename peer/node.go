@@ -59,6 +59,12 @@ type Config struct {
 	// non-neighbor entry is evicted per insertion. Default 512.
 	HostCacheCap int
 
+	// DenyPeers lists peer listen addresses this node refuses to dial
+	// or accept. The testnet harness uses deny lists to create
+	// partitions without firewall rules; SetDenied updates the set at
+	// runtime (and cuts existing links to newly denied peers).
+	DenyPeers []string
+
 	// Metrics, when non-nil, receives the node's runtime instruments:
 	// frames/bytes in and out, the ping RTT histogram, suspect/evict
 	// transition counters, dial-backoff state and query activity.
@@ -139,6 +145,7 @@ type Node struct {
 	pingT     map[uint64]pingRef      // outstanding ping nonces
 	backoff   map[string]*dialBackoff // per-address re-dial state
 	dialing   map[string]bool         // dials in flight (refill dedup)
+	denied    map[string]bool         // peers we refuse to dial or accept
 	store     map[uint64]bool         // hosted objects
 	seen      map[uint64]bool         // query-id duplicate suppression
 	seenQ     []uint64                // FIFO for seen eviction
@@ -223,6 +230,7 @@ func Start(addr string, cfg Config) (*Node, error) {
 		pingT:   make(map[uint64]pingRef),
 		backoff: make(map[string]*dialBackoff),
 		dialing: make(map[string]bool),
+		denied:  make(map[string]bool),
 		store:   make(map[uint64]bool),
 		seen:    make(map[uint64]bool),
 		hits:    make(chan Hit, 256),
@@ -230,6 +238,11 @@ func Start(addr string, cfg Config) (*Node, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		stop:    make(chan struct{}),
 		kick:    make(chan struct{}, 1),
+	}
+	for _, a := range cfg.DenyPeers {
+		if a != "" {
+			n.denied[a] = true
+		}
 	}
 	n.met = newNodeMetrics(cfg.Metrics, cfg.Trace)
 	n.wg.Add(2)
@@ -329,6 +342,10 @@ func (n *Node) handleInbound(c net.Conn) {
 		c.Close()
 		return
 	}
+	if n.isDenied(hello.Addr) {
+		c.Close()
+		return
+	}
 	if hello.Addr == transientAddr {
 		// One-shot hit delivery: read the single hit frame, surface
 		// it, and close without registering a neighbor.
@@ -373,7 +390,11 @@ func (n *Node) Connect(addr string) error {
 	}
 	n.mu.Lock()
 	_, known := n.conns[addr]
+	denied := n.denied[addr]
 	n.mu.Unlock()
+	if denied {
+		return fmt.Errorf("peer: %s is denied", addr)
+	}
 	if known {
 		return nil
 	}
@@ -664,6 +685,9 @@ func (n *Node) canDialLocked(addr string, now time.Time) bool {
 		return false
 	}
 	if _, connected := n.conns[addr]; connected {
+		return false
+	}
+	if n.denied[addr] {
 		return false
 	}
 	if n.dialing[addr] {
