@@ -1,0 +1,326 @@
+// Command makalu-loadgen drives a makalu-node service-mode daemon with
+// a Zipf query workload (the trace model's popularity skew) and
+// measures what the serving stack sustains: QPS, exact client-side
+// p50/p99/p999 latency, cache hit rate, and the shed/rate-limit
+// counts. Rows merge into BENCH_serve.json; -baseline compares a fresh
+// row against the committed file and exits non-zero on regression,
+// mirroring the repo's other bench gates.
+//
+// The object catalog always comes from the daemon's HTTP /objects
+// endpoint; the load itself goes over HTTP (-proto http) or the raw
+// TCP line protocol (-proto tcp, the low-overhead path).
+//
+// Usage:
+//
+//	makalu-node -serve-http 127.0.0.1:8080 -serve-tcp 127.0.0.1:8081 &
+//	makalu-loadgen -http 127.0.0.1:8080 -tcp 127.0.0.1:8081 -proto tcp \
+//	    -queries 50000 -zipf 1.2 -label cache-on -json BENCH_serve.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"makalu/internal/serve"
+	"makalu/internal/trace"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		httpAddr = flag.String("http", "127.0.0.1:8080", "daemon HTTP address (catalog fetch; HTTP load)")
+		tcpAddr  = flag.String("tcp", "", "daemon TCP line-protocol address (required for -proto tcp)")
+		proto    = flag.String("proto", "http", "load path: http or tcp")
+		queries  = flag.Int("queries", 50000, "total queries to send")
+		conns    = flag.Int("conns", 4, "concurrent connections/clients")
+		mechName = flag.String("mech", "flood", "search mechanism: flood, walk, or abf")
+		ttl      = flag.Int("ttl", 4, "query TTL")
+		zipf     = flag.Float64("zipf", 1.2, "Zipf exponent of the object popularity skew (0 = uniform)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		rate     = flag.Float64("rate", 0, "target offered load in queries/second (0 = closed loop, as fast as the daemon answers)")
+		label    = flag.String("label", "", "row label (e.g. cache-on); identifies the row in BENCH_serve.json")
+		jsonOut  = flag.String("json", "", "write/merge the result row into this BENCH_serve.json")
+		baseline = flag.String("baseline", "", "committed BENCH_serve.json to gate against; exit non-zero on regression")
+		qpsTol   = flag.Float64("min-qps-factor", 0.5, "measured QPS must be >= this fraction of the baseline row's")
+		p99Tol   = flag.Float64("max-p99-factor", 2.0, "measured p99 must be <= this multiple of the baseline row's")
+	)
+	flag.Parse()
+
+	mech, err := serve.ParseMechanism(*mechName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *proto != "http" && *proto != "tcp" {
+		fmt.Fprintf(os.Stderr, "bad -proto %q (want http or tcp)\n", *proto)
+		return 2
+	}
+	if *proto == "tcp" && *tcpAddr == "" {
+		fmt.Fprintln(os.Stderr, "-proto tcp needs -tcp <addr>")
+		return 2
+	}
+
+	objects, err := fetchCatalog(*httpAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catalog fetch: %v\n", err)
+		return 1
+	}
+	fmt.Printf("catalog: %d objects from %s\n", len(objects), *httpAddr)
+
+	// The workload is the trace model's Zipf draw order, shared across
+	// connections: worker w sends events w, w+conns, w+2*conns, ... so
+	// the object sequence is independent of scheduling.
+	stream, err := trace.NewStream(trace.StreamConfig{
+		Duration: float64(*queries), Rate: 1.5, Objects: len(objects), ZipfExp: *zipf, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	work := make([]uint64, *queries)
+	for i := range work {
+		ev, ok := stream.Next()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "trace stream exhausted before the query budget")
+			return 1
+		}
+		work[i] = objects[ev.Object]
+	}
+
+	res, err := run(*proto, *httpAddr, *tcpAddr, work, mech, *ttl, *conns, *rate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	row := res.row(*label, *proto, mech.String(), *ttl, *zipf, *conns, *seed, len(objects))
+	fmt.Printf("%s: %d ok (%d shed, %d limited, %d errors) in %.2fs — %.0f qps, "+
+		"p50 %.3fms p99 %.3fms p999 %.3fms, cache hit %.1f%%, found %.1f%%\n",
+		rowName(row), row.OK, row.Shed, row.RateLimited, row.Errors, row.WallSeconds,
+		row.QPS, row.P50Ms, row.P99Ms, row.P999Ms, 100*row.CacheHitRate, 100*row.FoundRate)
+
+	if *jsonOut != "" {
+		if err := mergeRow(*jsonOut, row); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			return 1
+		}
+		fmt.Printf("row merged into %s\n", *jsonOut)
+	}
+	if *baseline != "" {
+		if err := compareBaseline(row, *baseline, *qpsTol, *p99Tol); err != nil {
+			fmt.Fprintf(os.Stderr, "BASELINE REGRESSION: %v\n", err)
+			return 1
+		}
+		fmt.Printf("baseline check passed against %s\n", *baseline)
+	}
+	return 0
+}
+
+// fetchCatalog pulls the servable object ids from the daemon.
+func fetchCatalog(httpAddr string) ([]uint64, error) {
+	resp, err := http.Get("http://" + httpAddr + "/objects")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/objects: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Objects []string `json:"objects"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	if len(doc.Objects) == 0 {
+		return nil, fmt.Errorf("daemon serves no objects")
+	}
+	out := make([]uint64, len(doc.Objects))
+	for i, s := range doc.Objects {
+		v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("object %q: %v", s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// result aggregates one run; latencies hold only accepted (H/200)
+// requests, so percentiles measure served quality, not shed turnaround.
+type result struct {
+	wall      time.Duration
+	latencies []time.Duration
+	ok        int
+	shed      int
+	limited   int
+	errors    int
+	hits      int
+	found     int
+}
+
+func run(proto, httpAddr, tcpAddr string, work []uint64, mech serve.Mechanism, ttl, conns int, rate float64) (*result, error) {
+	type shard struct {
+		lats                                     []time.Duration
+		ok, shed, limited, errorsN, hits, foundN int
+	}
+	shards := make([]shard, conns)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var send func(obj uint64) (status byte, cacheHit, found bool, err error)
+			switch proto {
+			case "tcp":
+				conn, err := net.Dial("tcp", tcpAddr)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				defer conn.Close()
+				r := bufio.NewReaderSize(conn, 16<<10)
+				send = func(obj uint64) (byte, bool, bool, error) {
+					if _, err := fmt.Fprintf(conn, "Q %s %d %d\n", mech, obj, ttl); err != nil {
+						return 0, false, false, err
+					}
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return 0, false, false, err
+					}
+					return parseTCPReply(line)
+				}
+			default:
+				client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+				clientID := fmt.Sprintf("loadgen-%d", w)
+				base := fmt.Sprintf("http://%s/lookup?mech=%s&ttl=%d&obj=", httpAddr, mech, ttl)
+				send = func(obj uint64) (byte, bool, bool, error) {
+					req, err := http.NewRequest(http.MethodGet, base+strconv.FormatUint(obj, 10), nil)
+					if err != nil {
+						return 0, false, false, err
+					}
+					req.Header.Set("X-Makalu-Client", clientID)
+					resp, err := client.Do(req)
+					if err != nil {
+						return 0, false, false, err
+					}
+					defer resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						var reply serve.LookupReply
+						if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+							return 0, false, false, err
+						}
+						return 'H', reply.CacheHit, reply.Found, nil
+					case http.StatusTooManyRequests:
+						var er struct {
+							Reason string `json:"reason"`
+						}
+						_ = json.NewDecoder(resp.Body).Decode(&er)
+						if er.Reason == "rate" {
+							return 'R', false, false, nil
+						}
+						return 'S', false, false, nil
+					default:
+						return 'E', false, false, nil
+					}
+				}
+			}
+			sh := &shards[w]
+			for i := w; i < len(work); i += conns {
+				if rate > 0 {
+					// Open loop: request i is due at i/rate seconds.
+					due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				t0 := time.Now()
+				status, cacheHit, found, err := send(work[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("query %d: %w", i, err)
+					}
+					errMu.Unlock()
+					return
+				}
+				switch status {
+				case 'H':
+					sh.ok++
+					sh.lats = append(sh.lats, time.Since(t0))
+					if cacheHit {
+						sh.hits++
+					}
+					if found {
+						sh.foundN++
+					}
+				case 'S':
+					sh.shed++
+				case 'R':
+					sh.limited++
+				default:
+					sh.errorsN++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &result{wall: time.Since(start)}
+	for i := range shards {
+		sh := &shards[i]
+		res.latencies = append(res.latencies, sh.lats...)
+		res.ok += sh.ok
+		res.shed += sh.shed
+		res.limited += sh.limited
+		res.errors += sh.errorsN
+		res.hits += sh.hits
+		res.found += sh.foundN
+	}
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	return res, nil
+}
+
+// parseTCPReply classifies one line-protocol response.
+func parseTCPReply(line string) (status byte, cacheHit, found bool, err error) {
+	fields := strings.Fields(strings.TrimRight(line, "\n"))
+	if len(fields) == 0 {
+		return 0, false, false, fmt.Errorf("empty reply")
+	}
+	switch fields[0] {
+	case "H":
+		if len(fields) != 6 {
+			return 0, false, false, fmt.Errorf("bad H reply %q", line)
+		}
+		return 'H', fields[5] == "1", fields[1] == "1", nil
+	case "S":
+		return 'S', false, false, nil
+	case "R":
+		return 'R', false, false, nil
+	case "E":
+		return 'E', false, false, nil
+	}
+	return 0, false, false, fmt.Errorf("unknown reply %q", line)
+}

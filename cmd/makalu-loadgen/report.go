@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Row is one BENCH_serve.json measurement. Identity (which row a new
+// measurement replaces) is (label, proto, mech, zipf): the same
+// serving configuration re-measured overwrites itself, different
+// configurations accumulate.
+type Row struct {
+	Label        string  `json:"label"`
+	Proto        string  `json:"proto"`
+	Mech         string  `json:"mech"`
+	TTL          int     `json:"ttl"`
+	Zipf         float64 `json:"zipf"`
+	Conns        int     `json:"conns"`
+	Seed         int64   `json:"seed"`
+	Objects      int     `json:"objects"`
+	Queries      int     `json:"queries"`
+	OK           int     `json:"ok"`
+	Shed         int     `json:"shed"`
+	RateLimited  int     `json:"rate_limited"`
+	Errors       int     `json:"errors"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	QPS          float64 `json:"qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	P999Ms       float64 `json:"p999_ms"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	FoundRate    float64 `json:"found_rate"`
+}
+
+func rowName(r Row) string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return fmt.Sprintf("%s/%s", r.Proto, r.Mech)
+}
+
+func (res *result) row(label, proto, mech string, ttl int, zipf float64, conns int, seed int64, objects int) Row {
+	pct := func(q float64) float64 {
+		if len(res.latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(res.latencies)))
+		if i >= len(res.latencies) {
+			i = len(res.latencies) - 1
+		}
+		return float64(res.latencies[i]) / float64(time.Millisecond)
+	}
+	row := Row{
+		Label: label, Proto: proto, Mech: mech, TTL: ttl, Zipf: zipf,
+		Conns: conns, Seed: seed, Objects: objects,
+		Queries: res.ok + res.shed + res.limited + res.errors,
+		OK:      res.ok, Shed: res.shed, RateLimited: res.limited, Errors: res.errors,
+		WallSeconds: res.wall.Seconds(),
+		P50Ms:       pct(0.50), P99Ms: pct(0.99), P999Ms: pct(0.999),
+	}
+	if row.WallSeconds > 0 {
+		row.QPS = float64(res.ok) / row.WallSeconds
+	}
+	if res.ok > 0 {
+		row.CacheHitRate = float64(res.hits) / float64(res.ok)
+		row.FoundRate = float64(res.found) / float64(res.ok)
+	}
+	return row
+}
+
+// Report is the BENCH_serve.json document, matching the repo's other
+// BENCH files: a generated stamp plus accumulated rows.
+type Report struct {
+	Generated string `json:"generated"`
+	Rows      []Row  `json:"rows"`
+}
+
+func sameIdentity(a, b Row) bool {
+	return a.Label == b.Label && a.Proto == b.Proto && a.Mech == b.Mech && a.Zipf == b.Zipf
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Report{}, nil
+		}
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+func mergeRow(path string, row Row) error {
+	r, err := loadReport(path)
+	if err != nil {
+		return err
+	}
+	replaced := false
+	for i := range r.Rows {
+		if sameIdentity(r.Rows[i], row) {
+			r.Rows[i] = row
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		r.Rows = append(r.Rows, row)
+	}
+	r.Generated = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// compareBaseline gates a fresh row against the committed one with the
+// same identity: QPS must hold a floor fraction of the baseline and
+// p99 must stay under a ceiling multiple — the serve bench-regression
+// contract CI enforces.
+func compareBaseline(row Row, path string, minQPSFactor, maxP99Factor float64) error {
+	base, err := loadReport(path)
+	if err != nil {
+		return err
+	}
+	for _, b := range base.Rows {
+		if !sameIdentity(b, row) {
+			continue
+		}
+		if floor := b.QPS * minQPSFactor; row.QPS < floor {
+			return fmt.Errorf("row %s: qps %.0f below floor %.0f (baseline %.0f x factor %.2f)",
+				rowName(row), row.QPS, floor, b.QPS, minQPSFactor)
+		}
+		if ceil := b.P99Ms * maxP99Factor; row.P99Ms > ceil {
+			return fmt.Errorf("row %s: p99 %.3fms above ceiling %.3fms (baseline %.3fms x factor %.2f)",
+				rowName(row), row.P99Ms, ceil, b.P99Ms, maxP99Factor)
+		}
+		return nil
+	}
+	return fmt.Errorf("baseline %s has no row matching %s (proto %s, mech %s, zipf %g)",
+		path, rowName(row), row.Proto, row.Mech, row.Zipf)
+}

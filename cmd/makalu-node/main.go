@@ -13,6 +13,10 @@
 //	# long-running member with periodic status snapshots
 //	makalu-node -listen 127.0.0.1:4003 -seed 127.0.0.1:4001 -run 60s \
 //	    -metrics-json status.json -metrics-interval 1s
+//	# query-serving service mode: build an in-memory overlay and serve
+//	# cached lookups over HTTP and the raw TCP line protocol
+//	makalu-node -serve-http 127.0.0.1:8080 -serve-tcp 127.0.0.1:8081 \
+//	    -serve-nodes 50000 -serve-cache 4096 -rng-seed 1
 //
 // Lifecycle: SIGINT/SIGTERM shut the node down gracefully — links get
 // a Bye, the listener closes, and the final status snapshot (degree,
@@ -62,6 +66,8 @@ func realMain() int {
 		denyFlag    = flag.String("deny", "", "comma-separated peer addresses to refuse (never dialed or accepted)")
 		denyFile    = flag.String("deny-file", "", "file with one denied peer address per line (# comments ok); reloaded on SIGHUP")
 	)
+	var sf serveFlags
+	registerServeFlags(&sf)
 	flag.Parse()
 
 	// Reproducibility fix: the seed used is always explicit in the log.
@@ -72,6 +78,11 @@ func realMain() int {
 		eff = time.Now().UnixNano()
 	}
 	fmt.Printf("rng seed %d\n", eff)
+
+	if sf.active() {
+		return serveMain(&sf, eff)
+	}
+	warnSingleCPUConfig(*manage)
 
 	objs, err := parseIDList(*store)
 	if err != nil {

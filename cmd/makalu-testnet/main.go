@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"makalu/internal/testnet"
@@ -58,6 +59,16 @@ func main() {
 		latFactor = flag.Float64("max-latency-regression", 3.0, "maximum post-kill query p99 ratio vs -baseline")
 	)
 	flag.Parse()
+
+	// Sub-second management across hundreds of processes on one CPU
+	// starves connection handling in every node at once; the driver then
+	// misreads the stalls as convergence failure.
+	if runtime.GOMAXPROCS(0) == 1 && *manage < time.Second {
+		fmt.Fprintf(os.Stderr,
+			"warning: GOMAXPROCS=1 with -manage-interval %v; sub-second management on a single CPU "+
+				"starves connection handling — raise -manage-interval to >=1s or set GOMAXPROCS>1\n",
+			*manage)
+	}
 
 	cfg := testnet.Config{
 		Nodes:             *nodes,

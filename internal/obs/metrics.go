@@ -234,6 +234,7 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 	Max   int64   `json:"max"`
 }
 
@@ -249,6 +250,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
 		Max:   h.Max(),
 	}
 }

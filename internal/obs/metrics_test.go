@@ -91,6 +91,31 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramP999(t *testing.T) {
+	// 1000 small samples plus one huge one: p99 must stay in the small
+	// band while p999 reaches for the tail — the distinction the serve
+	// benchmarks report.
+	var h Histogram
+	for i := 0; i < 998; i++ {
+		h.Observe(10)
+	}
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	snap := h.Snapshot()
+	if snap.P999 != 1<<20 {
+		t.Fatalf("p999 = %v, want %d (the tail sample)", snap.P999, 1<<20)
+	}
+	if snap.P99 > 16 {
+		t.Fatalf("p99 = %v, want within the small-sample bucket", snap.P99)
+	}
+	if snap.P999 < snap.P99 {
+		t.Fatalf("p999 %v < p99 %v", snap.P999, snap.P99)
+	}
+	if empty := (&Histogram{}).Snapshot(); empty.P999 != 0 {
+		t.Fatalf("empty p999 = %v, want 0", empty.P999)
+	}
+}
+
 // TestHistogramMergeMatchesSequential pins the determinism contract
 // the batch kernels rely on: sharding samples over several histograms
 // and merging them (in any fixed order) reproduces the sequential

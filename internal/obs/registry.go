@@ -158,8 +158,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		h := snap.Histograms[name]
-		if _, err := fmt.Fprintf(w, "%s count=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d\n",
-			name, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max); err != nil {
+		if _, err := fmt.Fprintf(w, "%s count=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f p999=%.0f max=%d\n",
+			name, h.Count, h.Mean, h.P50, h.P95, h.P99, h.P999, h.Max); err != nil {
 			return err
 		}
 	}

@@ -51,6 +51,14 @@ type Kernel struct {
 	perEdge map[*PerEdgeABFNetwork]*PerEdgeABFRouter
 }
 
+// NewKernel creates a standalone kernel over g for callers outside
+// BatchRunner.Run — the serving frontend holds one Kernel per shard
+// worker and reuses it across micro-batches exactly as a batch worker
+// reuses it across its query range.
+func NewKernel(g *graph.Graph, index int) *Kernel {
+	return &Kernel{Index: index, g: g}
+}
+
 // Graph returns the frozen graph the kernel's engines run over.
 func (k *Kernel) Graph() *graph.Graph { return k.g }
 

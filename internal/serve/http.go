@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"makalu/internal/obs"
+)
+
+// HTTPConfig wires the HTTP frontend.
+type HTTPConfig struct {
+	Engine  *Engine
+	Limiter *Limiter      // nil = unlimited
+	Metrics *obs.Registry // backs /debug/metrics; nil disables the endpoint body
+	// Debug exposes /debug/metrics and /debug/pprof. Leave false when
+	// the daemon faces untrusted clients.
+	Debug bool
+}
+
+// LookupReply is the JSON document /lookup returns.
+type LookupReply struct {
+	Found         bool   `json:"found"`
+	FirstMatchHop int    `json:"first_match_hop"`
+	Messages      int    `json:"messages"`
+	Visited       int    `json:"visited"`
+	Matches       int    `json:"matches"`
+	CacheHit      bool   `json:"cache_hit"`
+	Epoch         uint64 `json:"epoch"`
+	Mech          string `json:"mech"`
+	Object        string `json:"object"`
+	TTL           int    `json:"ttl"`
+}
+
+// errorReply is the JSON error document; Reason distinguishes the two
+// 429 causes (rate limit vs load shed).
+type errorReply struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// NewHTTPHandler builds the daemon's HTTP mux:
+//
+//	GET /lookup?obj=<id>&mech=flood|walk|abf&ttl=<n>  serve one query
+//	GET /objects                                      the servable object catalog
+//	GET /healthz                                      liveness probe
+//	GET /debug/metrics                                obs registry JSON (Debug only)
+//	GET /debug/pprof/...                              live profiling  (Debug only)
+//
+// Rate-limited and shed requests get 429 with a Retry-After header;
+// the JSON body's reason field says which path refused.
+func NewHTTPHandler(cfg HTTPConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lookup", func(w http.ResponseWriter, r *http.Request) {
+		serveLookup(cfg, w, r)
+	})
+	mux.HandleFunc("/objects", func(w http.ResponseWriter, r *http.Request) {
+		objs := cfg.Engine.Objects()
+		ids := make([]string, len(objs))
+		for i, o := range objs {
+			ids[i] = "0x" + strconv.FormatUint(o, 16)
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Epoch   uint64   `json:"epoch"`
+			Objects []string `json:"objects"`
+		}{cfg.Engine.Epoch(), ids})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"ok":true,"epoch":%d,"shards":%d}`+"\n",
+			cfg.Engine.Epoch(), cfg.Engine.Shards())
+	})
+	if cfg.Debug {
+		mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+			cfg.Engine.syncCacheLen()
+			w.Header().Set("Content-Type", "application/json")
+			if cfg.Metrics == nil {
+				fmt.Fprintln(w, "{}")
+				return
+			}
+			if err := cfg.Metrics.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// clientID identifies the caller for rate limiting: the X-Makalu-Client
+// header when present (so load generators can model client
+// populations), else the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Makalu-Client"); id != "" {
+		return id
+	}
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	return host
+}
+
+// retryAfterHeader formats a Retry-After value: whole seconds, rounded
+// up, at least 1 — the header has no sub-second resolution.
+func retryAfterHeader(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func serveLookup(cfg HTTPConfig, w http.ResponseWriter, r *http.Request) {
+	if ok, retry := cfg.Limiter.Allow(clientID(r)); !ok {
+		w.Header().Set("Retry-After", retryAfterHeader(retry))
+		writeJSON(w, http.StatusTooManyRequests,
+			errorReply{Error: "rate limit exceeded", Reason: "rate"})
+		return
+	}
+	q := r.URL.Query()
+	objStr := q.Get("obj")
+	if objStr == "" {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "missing obj parameter"})
+		return
+	}
+	obj, err := parseObjectID(objStr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: fmt.Sprintf("bad obj: %v", err)})
+		return
+	}
+	mech := MechFlood
+	if ms := q.Get("mech"); ms != "" {
+		mech, err = ParseMechanism(ms)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+			return
+		}
+	}
+	ttl := 4
+	if ts := q.Get("ttl"); ts != "" {
+		ttl, err = strconv.Atoi(ts)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorReply{Error: fmt.Sprintf("bad ttl: %v", err)})
+			return
+		}
+	}
+	req := Request{Mech: mech, Object: obj, TTL: ttl}
+	resp, err := cfg.Engine.Lookup(req)
+	switch {
+	case err == nil:
+	case err == ErrOverloaded:
+		// Shed: the queue-bound policy refused so accepted requests keep
+		// their latency. One second is the "come back after the burst"
+		// hint; the client-side backoff does the real pacing.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			errorReply{Error: err.Error(), Reason: "shed"})
+		return
+	case err == ErrClosed:
+		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, LookupReply{
+		Found:         resp.Result.Success,
+		FirstMatchHop: resp.Result.FirstMatchHop,
+		Messages:      resp.Result.Messages,
+		Visited:       resp.Result.Visited,
+		Matches:       resp.Result.MatchesFound,
+		CacheHit:      resp.CacheHit,
+		Epoch:         resp.Epoch,
+		Mech:          req.Mech.String(),
+		Object:        "0x" + strconv.FormatUint(obj, 16),
+		TTL:           req.TTL,
+	})
+}
+
+// parseObjectID accepts decimal or 0x-prefixed hex object ids, the
+// same forms makalu-node's -store flag takes.
+func parseObjectID(s string) (uint64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}

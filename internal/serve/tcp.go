@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TCPServer speaks the raw line protocol — the low-overhead path the
+// load generator uses to push millions of queries through persistent
+// connections without HTTP parsing on either side.
+//
+// Request line:   Q <mech> <object> <ttl>\n    (object decimal or 0x hex)
+// Responses:      H <found> <hop> <messages> <visited> <cachehit>\n
+//
+//	S <retry_ms>\n   (shed: queue full)
+//	R <retry_ms>\n   (rate limited)
+//	E <message>\n    (bad request)
+//
+// One connection is one rate-limit client (keyed by remote address).
+// Replies are written in request order per connection; the writer is
+// flushed only when no further request is buffered, so a pipelined
+// client amortizes syscalls the same way the engine amortizes kernel
+// dispatch.
+type TCPServer struct {
+	eng *Engine
+	lim *Limiter
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPServer starts listening on addr (e.g. "127.0.0.1:0") and
+// serving connections.
+func NewTCPServer(addr string, eng *Engine, lim *Limiter) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{eng: eng, lim: lim, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	client := conn.RemoteAddr().String()
+	r := bufio.NewReaderSize(conn, 16<<10)
+	w := bufio.NewWriterSize(conn, 16<<10)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return // EOF or closed
+		}
+		s.serveLine(w, client, strings.TrimRight(line, "\r\n"))
+		// Flush only when the read side has no pipelined request
+		// waiting: batch replies to a batch of requests in one write.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *TCPServer) serveLine(w *bufio.Writer, client, line string) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return // blank line: ignore
+	}
+	if fields[0] != "Q" || len(fields) != 4 {
+		fmt.Fprintf(w, "E bad request line (want: Q <mech> <object> <ttl>)\n")
+		return
+	}
+	if ok, retry := s.lim.Allow(client); !ok {
+		fmt.Fprintf(w, "R %d\n", retryMillis(retry))
+		return
+	}
+	mech, err := ParseMechanism(fields[1])
+	if err != nil {
+		fmt.Fprintf(w, "E %s\n", err)
+		return
+	}
+	obj, err := parseObjectID(fields[2])
+	if err != nil {
+		fmt.Fprintf(w, "E bad object id: %s\n", err)
+		return
+	}
+	ttl, err := strconv.Atoi(fields[3])
+	if err != nil {
+		fmt.Fprintf(w, "E bad ttl: %s\n", err)
+		return
+	}
+	resp, err := s.eng.Lookup(Request{Mech: mech, Object: obj, TTL: ttl})
+	switch {
+	case err == nil:
+	case err == ErrOverloaded:
+		fmt.Fprintf(w, "S %d\n", retryMillis(time.Millisecond))
+		return
+	case err == ErrClosed:
+		fmt.Fprintf(w, "E %s\n", err)
+		return
+	default:
+		fmt.Fprintf(w, "E %s\n", err)
+		return
+	}
+	found, hit := 0, 0
+	if resp.Result.Success {
+		found = 1
+	}
+	if resp.CacheHit {
+		hit = 1
+	}
+	fmt.Fprintf(w, "H %d %d %d %d %d\n",
+		found, resp.Result.FirstMatchHop, resp.Result.Messages, resp.Result.Visited, hit)
+}
+
+// retryMillis renders a retry hint in whole milliseconds, at least 1.
+func retryMillis(d time.Duration) int64 {
+	ms := int64((d + time.Millisecond - 1) / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// the connection goroutines.
+func (s *TCPServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

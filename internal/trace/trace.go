@@ -114,10 +114,23 @@ type StreamConfig struct {
 	Seed     int64
 }
 
-// GenerateStream produces a Poisson query stream with (optionally)
-// Zipf-skewed object popularity, as file-sharing query traces exhibit.
-// Events are returned in time order.
-func GenerateStream(cfg StreamConfig) ([]QueryEvent, error) {
+// Stream yields the events of a synthetic query trace one at a time,
+// so multi-million-query workloads (the load generator's regime) never
+// materialize an event slice: the iterator's steady state is
+// allocation-free and its heap footprint is the rng state, independent
+// of Duration×Rate. Draw order is identical to GenerateStream's, so a
+// Stream and a materialized trace with equal configs yield the same
+// events.
+type Stream struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	cfg  StreamConfig
+	t    float64
+}
+
+// NewStream validates cfg and positions an iterator at the start of
+// the trace.
+func NewStream(cfg StreamConfig) (*Stream, error) {
 	if cfg.Duration <= 0 || cfg.Rate <= 0 {
 		return nil, fmt.Errorf("trace: duration and rate must be positive")
 	}
@@ -125,24 +138,46 @@ func GenerateStream(cfg StreamConfig) ([]QueryEvent, error) {
 		return nil, fmt.Errorf("trace: need a positive catalog size")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	var zipf *rand.Zipf
+	s := &Stream{rng: rng, cfg: cfg}
 	if cfg.ZipfExp > 1 {
-		zipf = rand.NewZipf(rng, cfg.ZipfExp, 1, uint64(cfg.Objects-1))
+		s.zipf = rand.NewZipf(rng, cfg.ZipfExp, 1, uint64(cfg.Objects-1))
+	}
+	return s, nil
+}
+
+// Next returns the next event in time order; ok is false once the
+// trace duration is exhausted (and stays false).
+func (s *Stream) Next() (ev QueryEvent, ok bool) {
+	t := s.t + s.rng.ExpFloat64()/s.cfg.Rate
+	if t > s.cfg.Duration {
+		s.t = t
+		return QueryEvent{}, false
+	}
+	s.t = t
+	obj := 0
+	if s.zipf != nil {
+		obj = int(s.zipf.Uint64())
+	} else {
+		obj = s.rng.Intn(s.cfg.Objects)
+	}
+	return QueryEvent{At: t, Object: obj}, true
+}
+
+// GenerateStream produces a Poisson query stream with (optionally)
+// Zipf-skewed object popularity, as file-sharing query traces exhibit.
+// Events are returned in time order. It materializes the whole trace;
+// callers that only need one pass should iterate a Stream instead.
+func GenerateStream(cfg StreamConfig) ([]QueryEvent, error) {
+	s, err := NewStream(cfg)
+	if err != nil {
+		return nil, err
 	}
 	var events []QueryEvent
-	t := 0.0
 	for {
-		t += rng.ExpFloat64() / cfg.Rate
-		if t > cfg.Duration {
-			break
+		ev, ok := s.Next()
+		if !ok {
+			return events, nil
 		}
-		obj := 0
-		if zipf != nil {
-			obj = int(zipf.Uint64())
-		} else {
-			obj = rng.Intn(cfg.Objects)
-		}
-		events = append(events, QueryEvent{At: t, Object: obj})
+		events = append(events, ev)
 	}
-	return events, nil
 }

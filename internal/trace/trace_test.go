@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 )
@@ -129,6 +130,87 @@ func TestGenerateStreamZipfSkew(t *testing.T) {
 	}
 	if top(skewed) < 2*top(uniform) {
 		t.Fatalf("zipf stream not skewed: top share %v vs uniform %v", top(skewed), top(uniform))
+	}
+}
+
+func TestStreamMatchesGenerateStream(t *testing.T) {
+	// The iterator must yield exactly the events GenerateStream
+	// materializes — and both must match the original generator's draw
+	// order (exp inter-arrival first, then the object), pinned here
+	// inline so a refactor of either path can't silently reseed the
+	// workload every consumer replays.
+	for _, zipf := range []float64{0, 1.2} {
+		cfg := StreamConfig{Duration: 50, Rate: 8, Objects: 64, ZipfExp: zipf, Seed: 11}
+		events, err := GenerateStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range events {
+			got, ok := s.Next()
+			if !ok {
+				t.Fatalf("stream ended at event %d of %d", i, len(events))
+			}
+			if got != want {
+				t.Fatalf("event %d: stream %+v != slice %+v", i, got, want)
+			}
+		}
+		if ev, ok := s.Next(); ok {
+			t.Fatalf("stream yields %+v past the slice's end", ev)
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatal("exhausted stream must stay exhausted")
+		}
+
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		var z *rand.Zipf
+		if cfg.ZipfExp > 1 {
+			z = rand.NewZipf(rng, cfg.ZipfExp, 1, uint64(cfg.Objects-1))
+		}
+		tt := 0.0
+		for i := 0; ; i++ {
+			tt += rng.ExpFloat64() / cfg.Rate
+			if tt > cfg.Duration {
+				if i != len(events) {
+					t.Fatalf("reference generator has %d events, stream %d", i, len(events))
+				}
+				break
+			}
+			obj := 0
+			if z != nil {
+				obj = int(z.Uint64())
+			} else {
+				obj = rng.Intn(cfg.Objects)
+			}
+			if events[i] != (QueryEvent{At: tt, Object: obj}) {
+				t.Fatalf("event %d diverges from the original draw order", i)
+			}
+		}
+	}
+}
+
+func TestStreamSteadyStateAllocFree(t *testing.T) {
+	// The load generator iterates multi-million-query traces; Next must
+	// not allocate once the Stream exists, or the heap would scale with
+	// the trace instead of staying O(1).
+	s, err := NewStream(StreamConfig{Duration: 1e12, Rate: 1000, Objects: 4096, ZipfExp: 1.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink QueryEvent
+	allocs := testing.AllocsPerRun(10000, func() {
+		ev, ok := s.Next()
+		if !ok {
+			t.Fatal("stream exhausted mid-test")
+		}
+		sink = ev
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("Stream.Next allocates %v per event, want 0", allocs)
 	}
 }
 

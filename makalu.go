@@ -74,6 +74,11 @@ type Config struct {
 	// forces fully sequential execution. Results are identical at any
 	// setting.
 	Workers int
+	// JoinWave switches construction to batched join waves of this
+	// size (PR 6's build path for 10⁵+ overlays); <= 1 keeps the
+	// sequential join. Wave builds are deterministic at any worker
+	// count but differ from the sequential build's topology.
+	JoinWave int
 }
 
 // Overlay is a built Makalu overlay plus cached analysis state.
@@ -130,6 +135,7 @@ func New(cfg Config) (*Overlay, error) {
 	coreCfg := core.DefaultConfig(model, cfg.Seed)
 	coreCfg.Alpha, coreCfg.Beta = cfg.Alpha, cfg.Beta
 	coreCfg.Workers = cfg.Workers
+	coreCfg.JoinWave = cfg.JoinWave
 	capRng := rand.New(rand.NewSource(cfg.Seed + 1))
 	caps := make([]int, cfg.Nodes)
 	for i := range caps {

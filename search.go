@@ -92,6 +92,7 @@ type DistSummary struct {
 	P50   float64
 	P95   float64
 	P99   float64
+	P999  float64
 	Max   int64
 }
 
@@ -114,7 +115,7 @@ type BatchStats struct {
 
 func distFrom(h *obs.Histogram) DistSummary {
 	s := h.Snapshot()
-	return DistSummary{Count: s.Count, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
+	return DistSummary{Count: s.Count, Mean: s.Mean, P50: s.P50, P95: s.P95, P99: s.P99, P999: s.P999, Max: s.Max}
 }
 
 func statsFrom(agg *search.Aggregate, o *search.BatchObs) BatchStats {

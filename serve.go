@@ -1,0 +1,54 @@
+package makalu
+
+import (
+	"fmt"
+
+	"makalu/internal/serve"
+)
+
+// ServeEngine builds a query-serving engine (internal/serve) over the
+// current overlay snapshot and content placement — the bridge the
+// makalu-node service mode uses. cfg.Graph/Store/ABF are filled from
+// the overlay; pass ix (a BuildIdentifierIndex result over the same
+// snapshot) to enable mech=abf lookups, or nil to serve flood/walk
+// only.
+//
+// The engine captures the snapshot at call time. After overlay
+// mutations, push the new state with UpdateServeSnapshot so cached
+// results from the old epoch can never be served.
+func (ov *Overlay) ServeEngine(c *Content, ix *IdentifierIndex, cfg serve.Config) (*serve.Engine, error) {
+	if c == nil {
+		return nil, fmt.Errorf("makalu: nil content")
+	}
+	g := ov.graphSnapshot()
+	cfg.Graph = g
+	cfg.Store = c.store
+	if ix != nil {
+		if ix.g != g {
+			return nil, fmt.Errorf("makalu: identifier index was built over a different overlay snapshot; rebuild it")
+		}
+		cfg.ABF = ix.net
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = ov.cfg.Seed + 29
+	}
+	return serve.New(cfg)
+}
+
+// UpdateServeSnapshot re-snapshots the overlay into a running serving
+// engine, bumping its epoch (which invalidates the result cache). Pass
+// a fresh IdentifierIndex built over the current snapshot to keep
+// mech=abf servable, or nil to drop it.
+func (ov *Overlay) UpdateServeSnapshot(eng *serve.Engine, c *Content, ix *IdentifierIndex) error {
+	if c == nil {
+		return fmt.Errorf("makalu: nil content")
+	}
+	g := ov.graphSnapshot()
+	if ix != nil {
+		if ix.g != g {
+			return fmt.Errorf("makalu: identifier index was built over a different overlay snapshot; rebuild it")
+		}
+		return eng.UpdateSnapshot(g, c.store, ix.net)
+	}
+	return eng.UpdateSnapshot(g, c.store, nil)
+}
