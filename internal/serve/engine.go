@@ -84,13 +84,15 @@ type Request struct {
 	TTL    int
 }
 
-// Key hashes the request to its cache/shard key (splitmix64-style
-// finalizer over the fields; stable across processes).
+// Key hashes the request to its cache/shard key (chained splitmix64
+// finalizers; stable across processes). Each field is mixed before the
+// next is folded in — XORing raw fields first would let small-integer
+// object ids alias against TTL and mechanism bits, and a colliding
+// request would be served the other request's cached Result.
 func (r Request) Key() uint64 {
-	x := r.Object
-	x ^= uint64(r.TTL) << 8
-	x ^= uint64(r.Mech)
-	return mix64(x ^ 0x51ab7df2c1e3a9b5)
+	h := mix64(r.Object ^ 0x51ab7df2c1e3a9b5)
+	h = mix64(h ^ uint64(r.TTL))
+	return mix64(h ^ uint64(r.Mech))
 }
 
 // Response reports one served lookup.
@@ -195,6 +197,7 @@ type shard struct {
 type Engine struct {
 	cfg    Config
 	snap   atomic.Pointer[snapshot]
+	snapMu sync.Mutex // serializes UpdateSnapshot's epoch bump
 	shards []*shard
 
 	mu     sync.RWMutex // guards closed vs in-flight enqueues
@@ -308,7 +311,10 @@ func (e *Engine) CacheSize() int {
 // (churn, heal, re-placement) — and bumps the epoch, which invalidates
 // every cached result: entries are epoch-stamped, so stale hits are
 // impossible the instant the pointer swaps, and each shard's stale
-// entries are purged as its worker notices the new epoch.
+// entries are purged as its worker notices the new epoch. Safe to call
+// from any number of goroutines: updates are serialized so every
+// snapshot gets a distinct epoch (a shared epoch across two graphs
+// would let one graph's cached results pass the other's epoch check).
 func (e *Engine) UpdateSnapshot(g *graph.Graph, store *content.Store, abf *search.ABFNetwork) error {
 	if g == nil || store == nil {
 		return fmt.Errorf("serve: nil snapshot")
@@ -316,8 +322,10 @@ func (e *Engine) UpdateSnapshot(g *graph.Graph, store *content.Store, abf *searc
 	if g.N() != store.N() {
 		return fmt.Errorf("serve: graph has %d nodes, store %d", g.N(), store.N())
 	}
+	e.snapMu.Lock()
 	old := e.snap.Load()
 	e.snap.Store(&snapshot{epoch: old.epoch + 1, g: g, store: store, abf: abf})
+	e.snapMu.Unlock()
 	e.epochG.Set(int64(old.epoch + 1))
 	// Explicit invalidation: return the memory now instead of letting
 	// stale entries age out through the lazy epoch check.
@@ -349,11 +357,19 @@ func (e *Engine) Lookup(req Request) (Response, error) {
 	}
 	key := req.Key()
 	sh := e.shards[key%uint64(len(e.shards))]
+	// The closed check guards the cache probe too: after Close every
+	// path out of Lookup is ErrClosed, cached or not, as documented.
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return Response{}, ErrClosed
+	}
 	if sh.cache != nil {
 		sh.mu.Lock()
 		res, ok := sh.cache.get(key, snap.epoch)
 		sh.mu.Unlock()
 		if ok {
+			e.mu.RUnlock()
 			e.hits.Inc()
 			if e.latency != nil {
 				e.latency.Since(start)
@@ -369,12 +385,6 @@ func (e *Engine) Lookup(req Request) (Response, error) {
 		p.enqueued = time.Now()
 	} else {
 		p.enqueued = time.Time{}
-	}
-	e.mu.RLock()
-	if e.closed {
-		e.mu.RUnlock()
-		pendingPool.Put(p)
-		return Response{}, ErrClosed
 	}
 	select {
 	case sh.queue <- p:

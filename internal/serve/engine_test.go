@@ -254,7 +254,7 @@ func TestLookupValidation(t *testing.T) {
 
 func TestEngineClose(t *testing.T) {
 	g, store := testOverlay(t, 200, 20)
-	e, err := New(Config{Graph: g, Store: store, Shards: 2, Seed: 1})
+	e, err := New(Config{Graph: g, Store: store, Shards: 2, Seed: 1, CacheCapacity: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,10 +262,49 @@ func TestEngineClose(t *testing.T) {
 	if _, err := e.Lookup(req); err != nil {
 		t.Fatal(err)
 	}
+	if resp, err := e.Lookup(req); err != nil || !resp.CacheHit {
+		t.Fatalf("second lookup should be a cache hit, got %+v err %v", resp, err)
+	}
 	e.Close()
 	e.Close() // idempotent
+	// ErrClosed covers the cache-hit fast path too: a request whose
+	// result is resident must still be refused after Close.
 	if _, err := e.Lookup(req); err != ErrClosed {
+		t.Fatalf("cached lookup after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := e.Lookup(Request{Mech: MechFlood, Object: store.Objects()[1], TTL: 4}); err != ErrClosed {
 		t.Fatalf("lookup after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentSnapshotUpdates pins that racing UpdateSnapshot calls
+// never install the same epoch for different snapshots — a shared
+// epoch would let one topology's cached results pass the other's
+// epoch check.
+func TestConcurrentSnapshotUpdates(t *testing.T) {
+	g, store := testOverlay(t, 200, 20)
+	e, err := New(Config{Graph: g, Store: store, Shards: 2, Seed: 1, CacheCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const updaters, rounds = 4, 25
+	var wg sync.WaitGroup
+	for u := 0; u < updaters; u++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := e.UpdateSnapshot(g, store, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Epoch(); got != updaters*rounds {
+		t.Fatalf("epoch = %d after %d updates — epochs were reused", got, updaters*rounds)
 	}
 }
 
@@ -281,6 +320,14 @@ func TestRequestKeyStability(t *testing.T) {
 		{Mech: MechABF, Object: 0xdead, TTL: 4},
 		{Mech: MechFlood, Object: 0xbeef, TTL: 4},
 		{Mech: MechFlood, Object: 0xdead, TTL: 5},
+		// Regression: a raw-XOR key let small fields cancel — obj^mech
+		// (4^0 == 5^1) and obj bits >= 8 aliasing against TTL<<8
+		// (obj=0x200,ttl=1 == obj=0,ttl=3) collided, serving one
+		// request the other's cached result.
+		{Mech: MechFlood, Object: 4, TTL: 7},
+		{Mech: MechWalk, Object: 5, TTL: 7},
+		{Mech: MechFlood, Object: 0x200, TTL: 1},
+		{Mech: MechFlood, Object: 0, TTL: 3},
 	} {
 		if prev, dup := distinct[r.Key()]; dup {
 			t.Fatalf("key collision between %+v and %+v", prev, r)

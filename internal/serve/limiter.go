@@ -20,11 +20,20 @@ type Limiter struct {
 	clients map[string]*bucket
 	now     func() time.Time // injectable for deterministic tests
 
-	// sweepAt bounds the client map: when it grows past this, buckets
-	// idle long enough to have refilled completely are dropped (their
-	// state is indistinguishable from a fresh bucket, so eviction is
-	// semantically free).
+	// sweepAt is the soft bound on the client map: when it grows past
+	// this, buckets idle long enough to have refilled completely are
+	// dropped (their state is indistinguishable from a fresh bucket, so
+	// eviction is semantically free).
 	sweepAt int
+
+	// maxClients is the hard bound: client ids are caller-chosen (the
+	// X-Makalu-Client header), so an adversary can keep arbitrarily
+	// many ids active and the idle sweep alone would let the map grow
+	// without limit. At the cap, admitting a new id force-evicts the
+	// stalest bucket from a random sample. A forced-out client returns
+	// with a fresh burst — a bounded courtesy we accept to keep memory
+	// bounded.
+	maxClients int
 }
 
 type bucket struct {
@@ -39,11 +48,12 @@ func NewLimiter(rate, burst float64) *Limiter {
 		return nil
 	}
 	return &Limiter{
-		rate:    rate,
-		burst:   burst,
-		clients: make(map[string]*bucket),
-		now:     time.Now,
-		sweepAt: 4096,
+		rate:       rate,
+		burst:      burst,
+		clients:    make(map[string]*bucket),
+		now:        time.Now,
+		sweepAt:    4096,
+		maxClients: 16384,
 	}
 }
 
@@ -61,6 +71,9 @@ func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
 	if !exists {
 		if len(l.clients) >= l.sweepAt {
 			l.sweep(now)
+		}
+		for len(l.clients) >= l.maxClients {
+			l.evictStalest()
 		}
 		b = &bucket{tokens: l.burst, last: now}
 		l.clients[client] = b
@@ -88,6 +101,32 @@ func (l *Limiter) sweep(now time.Time) {
 		if now.Sub(b.last) >= idle {
 			delete(l.clients, id)
 		}
+	}
+}
+
+// evictStalest drops the least-recently-seen bucket from a bounded
+// sample of the client map (Go map iteration starts at a random
+// position, so the sample is effectively random — Redis-style sampled
+// LRU). O(sample) regardless of map size; called with the lock held,
+// only when the map is at maxClients.
+func (l *Limiter) evictStalest() {
+	const sample = 64
+	var (
+		victim string
+		oldest time.Time
+		seen   int
+	)
+	for id, b := range l.clients {
+		if seen == 0 || b.last.Before(oldest) {
+			victim, oldest = id, b.last
+		}
+		seen++
+		if seen >= sample {
+			break
+		}
+	}
+	if seen > 0 {
+		delete(l.clients, victim)
 	}
 }
 

@@ -113,3 +113,26 @@ func TestLimiterSweepBoundsClientMap(t *testing.T) {
 		t.Fatal("sweep dropped a partially-refilled bucket")
 	}
 }
+
+// TestLimiterHardCap pins the memory bound against an adversary who
+// keeps every client id active: the idle sweep frees nothing (no
+// bucket ever refills), so the hard cap must force-evict instead of
+// letting the map grow without limit. Client ids are caller-chosen
+// (X-Makalu-Client), so this is the public-endpoint exhaustion case.
+func TestLimiterHardCap(t *testing.T) {
+	clk := newFakeClock()
+	l := withClock(NewLimiter(10, 2), clk)
+	l.sweepAt = 16
+	l.maxClients = 32
+	for i := 0; i < 10*l.maxClients; i++ {
+		l.Allow(fmt.Sprintf("attacker-%d", i))
+		clk.advance(time.Millisecond) // active traffic: nothing goes idle
+	}
+	if n := l.Clients(); n > l.maxClients {
+		t.Fatalf("client map grew to %d, cap is %d", n, l.maxClients)
+	}
+	// The cap must not lock out service: a new client is still admitted.
+	if ok, _ := l.Allow("legit"); !ok {
+		t.Fatal("new client refused at the hard cap")
+	}
+}
