@@ -121,6 +121,9 @@ func main() {
 		scaleSizes  = flag.String("scale-sizes", "10000,50000,200000,1000000,10000000", "comma-separated network sizes for -exp scale")
 		scaleJSON   = flag.String("scale-json", "", "write the -exp scale sweep as JSON to this path (the BENCH_scale.json record)")
 		scaleLand   = flag.Int("scale-landmarks", 64, "landmark BFS sources for the sampled path length in -exp scale")
+		streamJSON  = flag.String("stream-json", "", "write the -exp stream sweep as JSON to this path (the BENCH_stream.json record)")
+		streamBase  = flag.String("stream-baseline", "", "committed BENCH_stream.json to gate the fresh -exp stream run against; exit non-zero on regression")
+		streamXfers = flag.Int("stream-transfers", 0, "downloads per -exp stream scenario (0 = default 24)")
 	)
 	flag.Parse()
 	// One registry and one event log for the whole run, whichever mode
@@ -196,6 +199,16 @@ func main() {
 		// to 10⁶ nodes and is deliberately excluded from -exp all.
 		if err := runScale(*scaleSizes, *scaleLand, *seed, *scaleJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment scale failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "stream" {
+		// The streaming sweep drives the chunked-transfer scheduler
+		// under churn plus a kill wave; like scale it has its own knobs
+		// and JSON record, so it is excluded from -exp all.
+		if err := runStream(*n, *seed, *streamXfers, reg, *streamJSON, *streamBase); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment stream failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -103,12 +103,9 @@ func serveMain(sf *serveFlags, seed int64) int {
 
 	var httpSrv *http.Server
 	if sf.httpAddr != "" {
-		httpSrv = &http.Server{
-			Addr: sf.httpAddr,
-			Handler: serve.NewHTTPHandler(serve.HTTPConfig{
-				Engine: eng, Limiter: lim, Metrics: reg, Debug: sf.debug,
-			}),
-		}
+		httpSrv = serve.NewHTTPServer(sf.httpAddr, serve.NewHTTPHandler(serve.HTTPConfig{
+			Engine: eng, Limiter: lim, Metrics: reg, Debug: sf.debug,
+		}))
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "http: %v\n", err)

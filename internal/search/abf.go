@@ -209,6 +209,16 @@ func NewABFRouter(net *ABFNetwork) *ABFRouter {
 // when stuck, it backtracks (both cost a message, as they would on the
 // wire). Success means reaching a node whose store holds obj.
 func (r *ABFRouter) Lookup(src int, obj uint64, ttl int, rng *rand.Rand) Result {
+	res, _ := r.LookupNode(src, obj, ttl, rng)
+	return res
+}
+
+// LookupNode is Lookup plus the identity of the node the route ended
+// on: the replica that answered when the lookup succeeded, or -1. The
+// streaming workload uses it to turn identifier routing into replica
+// discovery — a chunk transfer needs an address to pull from, not just
+// the fact that one exists.
+func (r *ABFRouter) LookupNode(src int, obj uint64, ttl int, rng *rand.Rand) (Result, int) {
 	r.epoch++
 	ep := r.epoch
 	res := Result{FirstMatchHop: -1}
@@ -218,7 +228,7 @@ func (r *ABFRouter) Lookup(src int, obj uint64, ttl int, rng *rand.Rand) Result 
 		res.Success = true
 		res.FirstMatchHop = 0
 		res.MatchesFound = 1
-		return res
+		return res, src
 	}
 	r.path = append(r.path[:0], int32(src))
 	cur := src
@@ -228,7 +238,7 @@ func (r *ABFRouter) Lookup(src int, obj uint64, ttl int, rng *rand.Rand) Result 
 		if next < 0 {
 			// Dead end: backtrack one hop if possible.
 			if len(r.path) <= 1 {
-				return res // nowhere left to go
+				return res, -1 // nowhere left to go
 			}
 			r.path = r.path[:len(r.path)-1]
 			cur = int(r.path[len(r.path)-1])
@@ -246,10 +256,10 @@ func (r *ABFRouter) Lookup(src int, obj uint64, ttl int, rng *rand.Rand) Result 
 			res.Success = true
 			res.FirstMatchHop = hops
 			res.MatchesFound = 1
-			return res
+			return res, cur
 		}
 	}
-	return res
+	return res, -1
 }
 
 // pickNext scores unvisited neighbors of u and returns the best, a

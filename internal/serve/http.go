@@ -20,7 +20,15 @@ type HTTPConfig struct {
 	// Debug exposes /debug/metrics and /debug/pprof. Leave false when
 	// the daemon faces untrusted clients.
 	Debug bool
+	// MaxBodyBytes caps a request body; every endpoint is GET-shaped,
+	// so bodies buy a client nothing and an oversized one is refused
+	// with 413 before any handler reads it. Default 64 KiB.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes caps request bodies when HTTPConfig.MaxBodyBytes
+// is zero.
+const DefaultMaxBodyBytes = 64 << 10
 
 // LookupReply is the JSON document /lookup returns.
 type LookupReply struct {
@@ -92,7 +100,45 @@ func NewHTTPHandler(cfg HTTPConfig) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	return limitBody(mux, maxBody)
+}
+
+// limitBody rejects requests whose declared Content-Length exceeds max
+// with 413, and caps chunked/undeclared bodies with http.MaxBytesReader
+// so no handler (present or future) can be made to buffer an unbounded
+// POST.
+func limitBody(next http.Handler, max int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.ContentLength > max {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorReply{Error: fmt.Sprintf("request body exceeds %d bytes", max)})
+			return
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, max)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// NewHTTPServer wraps handler in an http.Server with the slow-client
+// protections the stdlib leaves off by default: without
+// ReadHeaderTimeout a slowloris client dripping header bytes pins a
+// goroutine (and its buffers) indefinitely, and without write/idle
+// timeouts a stalled reader does the same on the response side.
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // clientID identifies the caller for rate limiting: the X-Makalu-Client

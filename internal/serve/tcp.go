@@ -30,6 +30,7 @@ type TCPServer struct {
 	eng *Engine
 	lim *Limiter
 	ln  net.Listener
+	cfg TCPConfig
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -37,14 +38,45 @@ type TCPServer struct {
 	wg     sync.WaitGroup
 }
 
-// NewTCPServer starts listening on addr (e.g. "127.0.0.1:0") and
-// serving connections.
+// TCPConfig bounds a connection's resource use. The zero value gets
+// production defaults.
+type TCPConfig struct {
+	// MaxLine caps one request line in bytes, terminator included; a
+	// client exceeding it gets an E response and the connection is
+	// closed. Without the cap, one endless unterminated line grows the
+	// read buffer without bound. Default 1024 — generous for
+	// "Q <mech> <object> <ttl>".
+	MaxLine int
+	// IdleTimeout is the per-read deadline: a connection with no
+	// complete request for this long is closed, so idle or half-open
+	// clients cannot pin goroutines forever. Default 2m.
+	IdleTimeout time.Duration
+}
+
+func (cfg TCPConfig) withDefaults() TCPConfig {
+	if cfg.MaxLine <= 0 {
+		cfg.MaxLine = 1024
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	return cfg
+}
+
+// NewTCPServer starts listening on addr (e.g. "127.0.0.1:0") with
+// default connection bounds.
 func NewTCPServer(addr string, eng *Engine, lim *Limiter) (*TCPServer, error) {
+	return NewTCPServerConfig(addr, eng, lim, TCPConfig{})
+}
+
+// NewTCPServerConfig starts listening on addr with explicit connection
+// bounds.
+func NewTCPServerConfig(addr string, eng *Engine, lim *Limiter, cfg TCPConfig) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &TCPServer{eng: eng, lim: lim, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &TCPServer{eng: eng, lim: lim, ln: ln, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -82,14 +114,23 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	client := conn.RemoteAddr().String()
-	r := bufio.NewReaderSize(conn, 16<<10)
+	// The read buffer IS the line cap: ReadSlice fails with
+	// ErrBufferFull exactly when a line exceeds it, so an endless
+	// unterminated line costs a fixed buffer, not unbounded growth.
+	r := bufio.NewReaderSize(conn, s.cfg.MaxLine)
 	w := bufio.NewWriterSize(conn, 16<<10)
 	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return // EOF or closed
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		line, err := r.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			fmt.Fprintf(w, "E line too long (max %d bytes)\n", s.cfg.MaxLine)
+			w.Flush()
+			return
 		}
-		s.serveLine(w, client, strings.TrimRight(line, "\r\n"))
+		if err != nil {
+			return // EOF, deadline expired, or closed
+		}
+		s.serveLine(w, client, strings.TrimRight(string(line), "\r\n"))
 		// Flush only when the read side has no pipelined request
 		// waiting: batch replies to a batch of requests in one write.
 		if r.Buffered() == 0 {
@@ -100,35 +141,47 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *TCPServer) serveLine(w *bufio.Writer, client, line string) {
+// parseQueryLine parses one protocol line into a Request. ok=false
+// with a nil error means a blank line (ignored by the server); an
+// error describes the malformation for the E response. The function is
+// pure — the fuzz harness drives it with arbitrary bytes.
+func parseQueryLine(line string) (req Request, ok bool, err error) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
-		return // blank line: ignore
+		return Request{}, false, nil // blank line: ignore
 	}
 	if fields[0] != "Q" || len(fields) != 4 {
-		fmt.Fprintf(w, "E bad request line (want: Q <mech> <object> <ttl>)\n")
+		return Request{}, false, fmt.Errorf("bad request line (want: Q <mech> <object> <ttl>)")
+	}
+	mech, err := ParseMechanism(fields[1])
+	if err != nil {
+		return Request{}, false, err
+	}
+	obj, err := parseObjectID(fields[2])
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad object id: %s", err)
+	}
+	ttl, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return Request{}, false, fmt.Errorf("bad ttl: %s", err)
+	}
+	return Request{Mech: mech, Object: obj, TTL: ttl}, true, nil
+}
+
+func (s *TCPServer) serveLine(w *bufio.Writer, client, line string) {
+	req, ok, perr := parseQueryLine(line)
+	if perr != nil {
+		fmt.Fprintf(w, "E %s\n", perr)
 		return
+	}
+	if !ok {
+		return // blank line
 	}
 	if ok, retry := s.lim.Allow(client); !ok {
 		fmt.Fprintf(w, "R %d\n", retryMillis(retry))
 		return
 	}
-	mech, err := ParseMechanism(fields[1])
-	if err != nil {
-		fmt.Fprintf(w, "E %s\n", err)
-		return
-	}
-	obj, err := parseObjectID(fields[2])
-	if err != nil {
-		fmt.Fprintf(w, "E bad object id: %s\n", err)
-		return
-	}
-	ttl, err := strconv.Atoi(fields[3])
-	if err != nil {
-		fmt.Fprintf(w, "E bad ttl: %s\n", err)
-		return
-	}
-	resp, err := s.eng.Lookup(Request{Mech: mech, Object: obj, TTL: ttl})
+	resp, err := s.eng.Lookup(req)
 	switch {
 	case err == nil:
 	case err == ErrOverloaded:

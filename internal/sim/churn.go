@@ -89,11 +89,45 @@ type ChurnResult struct {
 	Rejoins    int
 }
 
+// Churn is a churn process scheduled on an engine by StartChurn. Its
+// Result fills in as the engine runs; Snapshot records one extra
+// health sample on demand (RunChurn uses it for the final state).
+type Churn struct {
+	Result   *ChurnResult
+	snapshot func()
+}
+
+// Snapshot records one health sample at the engine's current time.
+func (c *Churn) Snapshot() { c.snapshot() }
+
 // RunChurn executes the churn process on the overlay and returns the
 // health timeline. The overlay is mutated in place.
 func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
+	eng := &Engine{Trace: cfg.Trace}
+	c, err := StartChurn(eng, o, cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng.RunUntil(cfg.Duration)
+	c.Snapshot() // final state
+	return c.Result, nil
+}
+
+// StartChurn schedules the churn process on a caller-owned engine and
+// returns without running it — the caller drives the clock, typically
+// because other workloads (chunked transfers, query load) share the
+// same timeline. Departure/rejoin cycles self-perpetuate indefinitely;
+// management rounds and periodic snapshots stop at cfg.Duration, and
+// the caller bounds the run with RunUntil. When the engine has no
+// trace sink yet, cfg.Trace is installed on it.
+func StartChurn(eng *Engine, o *core.Overlay, cfg ChurnConfig) (*Churn, error) {
 	if cfg.Duration <= 0 || cfg.MeanSession <= 0 || cfg.MeanDowntime <= 0 {
 		return nil, fmt.Errorf("sim: churn durations must be positive: %+v", cfg)
+	}
+	// Validate before scheduling anything: an error must leave the
+	// caller's engine untouched.
+	if cfg.SearchProbes > 0 && cfg.SearchStore == nil {
+		return nil, fmt.Errorf("sim: SearchProbes needs a SearchStore")
 	}
 	if cfg.ManageInterval <= 0 {
 		cfg.ManageInterval = cfg.Duration / 20
@@ -101,7 +135,9 @@ func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
 	if cfg.SnapshotInterval <= 0 {
 		cfg.SnapshotInterval = cfg.Duration / 10
 	}
-	eng := &Engine{Trace: cfg.Trace}
+	if eng.Trace == nil {
+		eng.Trace = cfg.Trace
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &ChurnResult{}
 
@@ -138,9 +174,6 @@ func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
 	}
 	eng.Schedule(cfg.ManageInterval, manage)
 
-	if cfg.SearchProbes > 0 && cfg.SearchStore == nil {
-		return nil, fmt.Errorf("sim: SearchProbes needs a SearchStore")
-	}
 	if cfg.SearchTTL <= 0 {
 		cfg.SearchTTL = 4
 	}
@@ -172,9 +205,7 @@ func RunChurn(o *core.Overlay, cfg ChurnConfig) (*ChurnResult, error) {
 	}
 	eng.Schedule(cfg.SnapshotInterval, snapLoop)
 
-	eng.RunUntil(cfg.Duration)
-	snapshot() // final state
-	return res, nil
+	return &Churn{Result: res, snapshot: snapshot}, nil
 }
 
 // measureSearch floods from random alive sources for random objects,

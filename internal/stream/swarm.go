@@ -1,0 +1,477 @@
+package stream
+
+import (
+	"makalu/internal/content"
+	"makalu/internal/netmodel"
+	"makalu/internal/sim"
+)
+
+// A Swarm runs chunked transfers on a shared discrete-event engine.
+// It owns the per-source upload queues (a replica serializes its
+// uploads across every transfer pulling from it), the per-chunk
+// timeout machinery, and the stall accounting. All state changes
+// happen inside engine events, so a Swarm needs no locking and a run
+// is deterministic given the engine's event order.
+type Swarm struct {
+	eng  *sim.Engine
+	net  netmodel.Model
+	live Liveness
+	loc  Locator
+	cfg  Config
+	obs  Obs
+
+	// busy[u] is the time node u's upload link is committed through;
+	// a new chunk cannot start transmitting before it.
+	busy map[int]float64
+
+	active  map[*Transfer]struct{}
+	results []TransferResult
+	lastNow float64
+}
+
+// NewSwarm creates a swarm on eng. The swarm chains itself onto the
+// engine's TickHook to integrate stall time, preserving any hook
+// already installed. ob may be the zero Obs for no instrumentation.
+func NewSwarm(eng *sim.Engine, net netmodel.Model, live Liveness, loc Locator, cfg Config, ob Obs) *Swarm {
+	s := &Swarm{
+		eng:    eng,
+		net:    net,
+		live:   live,
+		loc:    loc,
+		cfg:    cfg.withDefaults(),
+		obs:    ob,
+		busy:   make(map[int]float64),
+		active: make(map[*Transfer]struct{}),
+	}
+	prev := eng.TickHook
+	eng.TickHook = func(now float64, executed uint64) {
+		if prev != nil {
+			prev(now, executed)
+		}
+		s.reconcile(now)
+	}
+	return s
+}
+
+// Results returns the outcomes of every finished transfer, in finish
+// order.
+func (s *Swarm) Results() []TransferResult { return s.results }
+
+// Active returns the transfers still in flight, in start order.
+func (s *Swarm) Active() []*Transfer {
+	out := make([]*Transfer, 0, len(s.active))
+	for tr := range s.active {
+		out = append(out, tr)
+	}
+	// Map order is random; sort by start time then object for
+	// deterministic callers (kill waves pick victims from this list).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b *Transfer) bool {
+	if a.res.Start != b.res.Start {
+		return a.res.Start < b.res.Start
+	}
+	if a.res.Object != b.res.Object {
+		return a.res.Object < b.res.Object
+	}
+	return a.res.Client < b.res.Client
+}
+
+// AbortActive fails every in-flight transfer at the current time.
+// Bounded experiment runs call it after their horizon so partial
+// transfers are reported instead of leaking.
+func (s *Swarm) AbortActive() {
+	for _, tr := range s.Active() {
+		s.fail(tr)
+	}
+}
+
+func (s *Swarm) bandwidth(u int) float64 {
+	if s.cfg.Bandwidth != nil {
+		if b := s.cfg.Bandwidth(u); b > 0 {
+			return b
+		}
+	}
+	return DefaultBandwidth
+}
+
+// A Transfer is one in-flight chunked download.
+type Transfer struct {
+	client int
+	man    content.Manifest
+	onDone func(TransferResult)
+
+	delivered []bool
+	assigned  []int // chunk -> current source, -1 when unassigned
+	attempt   []int // per-chunk attempt epoch; stale events carry an old value
+	pending   []int // unassigned, undelivered chunk indices (FIFO)
+	remaining int
+
+	sources  []int        // active sources, in discovery order
+	evicted  map[int]bool // sources dropped for missing a deadline
+	inflight map[int]int  // source -> outstanding chunk count
+
+	rediscovering bool
+	stalled       bool
+	done          bool
+	res           TransferResult
+}
+
+// Client returns the downloading node.
+func (tr *Transfer) Client() int { return tr.client }
+
+// Object returns the object being fetched.
+func (tr *Transfer) Object() uint64 { return tr.man.Object }
+
+// Done reports whether the transfer has finished (either way).
+func (tr *Transfer) Done() bool { return tr.done }
+
+// Result returns the outcome; only meaningful once Done.
+func (tr *Transfer) Result() TransferResult { return tr.res }
+
+// ActiveSources returns the replicas the transfer is currently pulling
+// from, in discovery order. Kill-wave experiments use it to remove a
+// source that is verifiably mid-transfer.
+func (tr *Transfer) ActiveSources() []int {
+	return append([]int(nil), tr.sources...)
+}
+
+// Start begins a transfer of man at client. onDone (may be nil) fires
+// once, inside the engine event that finishes or fails the transfer.
+func (s *Swarm) Start(client int, man content.Manifest, onDone func(TransferResult)) *Transfer {
+	n := man.NumChunks()
+	tr := &Transfer{
+		client:    client,
+		man:       man,
+		onDone:    onDone,
+		delivered: make([]bool, n),
+		assigned:  make([]int, n),
+		attempt:   make([]int, n),
+		pending:   make([]int, n),
+		remaining: n,
+		evicted:   make(map[int]bool),
+		inflight:  make(map[int]int),
+	}
+	for i := range tr.assigned {
+		tr.assigned[i] = -1
+		tr.pending[i] = i
+	}
+	tr.res = TransferResult{
+		Object: man.Object,
+		Client: client,
+		Chunks: n,
+		Start:  s.eng.Now(),
+		TTFB:   -1,
+	}
+	s.obs.TransfersStarted.Inc()
+	s.active[tr] = struct{}{}
+	if s.cfg.Deadline > 0 {
+		s.eng.Schedule(s.cfg.Deadline, func() {
+			if !tr.done {
+				s.fail(tr)
+			}
+		})
+	}
+	for _, u := range s.loc.Locate(client, man.Object, s.cfg.MaxSources, tr.skipSet()) {
+		s.addSource(tr, u)
+	}
+	if len(tr.sources) == 0 {
+		s.scheduleRediscover(tr)
+	} else {
+		s.grant(tr)
+	}
+	return tr
+}
+
+// skipSet is the exclusion list handed to the locator: the client,
+// current sources, and everything already evicted.
+func (tr *Transfer) skipSet() map[int]bool {
+	skip := make(map[int]bool, len(tr.evicted)+len(tr.sources)+1)
+	skip[tr.client] = true
+	for u := range tr.evicted {
+		skip[u] = true
+	}
+	for _, u := range tr.sources {
+		skip[u] = true
+	}
+	return skip
+}
+
+func (s *Swarm) addSource(tr *Transfer, u int) {
+	if u == tr.client || tr.evicted[u] {
+		return
+	}
+	for _, v := range tr.sources {
+		if v == u {
+			return
+		}
+	}
+	tr.sources = append(tr.sources, u)
+}
+
+// grant fills every source's window with pending chunks.
+func (s *Swarm) grant(tr *Transfer) {
+	if tr.done {
+		return
+	}
+	for _, src := range tr.sources {
+		for tr.inflight[src] < s.cfg.PerSourceWindow && len(tr.pending) > 0 {
+			c := tr.pending[0]
+			tr.pending = tr.pending[1:]
+			if tr.delivered[c] || tr.assigned[c] >= 0 {
+				continue
+			}
+			s.request(tr, src, c)
+		}
+	}
+}
+
+// request sends chunk c to src: the request propagates one latency,
+// queues behind src's earlier uploads, transmits at src's bandwidth,
+// and the payload propagates back. A timeout event guards the attempt.
+func (s *Swarm) request(tr *Transfer, src, c int) {
+	tr.assigned[c] = src
+	tr.attempt[c]++
+	att := tr.attempt[c]
+	tr.inflight[src]++
+	s.obs.ChunksRequested.Inc()
+
+	now := s.eng.Now()
+	lat := s.net.Latency(tr.client, src)
+	startTx := now + lat
+	if b := s.busy[src]; b > startTx {
+		startTx = b
+	}
+	doneTx := startTx + float64(tr.man.ChunkLen(c))/s.bandwidth(src)
+	s.busy[src] = doneTx
+	arrive := doneTx + lat
+
+	s.eng.ScheduleAt(arrive, func() {
+		s.deliver(tr, src, c, att, arrive-now)
+	})
+	s.eng.Schedule(s.cfg.ChunkTimeout, func() {
+		s.timeout(tr, c, att)
+	})
+}
+
+// deliver lands chunk c from src, unless the attempt is stale or src
+// died in flight (a dead source's bytes never arrive; the timeout
+// recovers the chunk).
+func (s *Swarm) deliver(tr *Transfer, src, c, att int, rtt float64) {
+	if tr.done || tr.delivered[c] || tr.attempt[c] != att {
+		return
+	}
+	if !s.live.Alive(src) {
+		return
+	}
+	tr.delivered[c] = true
+	tr.assigned[c] = -1
+	tr.inflight[src]--
+	tr.remaining--
+	tr.res.Delivered++
+	tr.res.Bytes += int64(tr.man.ChunkLen(c))
+	s.obs.ChunksDelivered.Inc()
+	s.obs.ChunkLatency.Observe(toMicros(rtt))
+	if tr.res.TTFB < 0 {
+		tr.res.TTFB = s.eng.Now() - tr.res.Start
+		s.obs.TTFB.Observe(toMicros(tr.res.TTFB))
+	}
+	if tr.remaining == 0 {
+		s.finish(tr)
+		return
+	}
+	s.grant(tr)
+}
+
+// timeout fires when chunk c's attempt att missed its deadline: evict
+// the source, re-queue everything that was in flight there, and refill
+// from the survivors — or fall back to re-discovery when the source
+// set drained.
+func (s *Swarm) timeout(tr *Transfer, c, att int) {
+	if tr.done || tr.delivered[c] || tr.attempt[c] != att {
+		return
+	}
+	src := tr.assigned[c]
+	if src < 0 {
+		return
+	}
+	tr.res.Timeouts++
+	s.obs.ChunkTimeouts.Inc()
+	s.evictSource(tr, src)
+	s.grant(tr)
+	if len(tr.sources) == 0 {
+		s.scheduleRediscover(tr)
+	}
+}
+
+// evictSource drops src from the transfer and re-queues its chunks.
+func (s *Swarm) evictSource(tr *Transfer, src int) {
+	if tr.evicted[src] {
+		return
+	}
+	tr.evicted[src] = true
+	for i, v := range tr.sources {
+		if v == src {
+			tr.sources = append(tr.sources[:i], tr.sources[i+1:]...)
+			break
+		}
+	}
+	delete(tr.inflight, src)
+	tr.res.SourcesEvicted++
+	s.obs.SourceEvictions.Inc()
+	if !s.live.Alive(src) {
+		tr.res.SourcesKilled++
+	}
+	for c, a := range tr.assigned {
+		if a != src || tr.delivered[c] {
+			continue
+		}
+		tr.assigned[c] = -1
+		tr.attempt[c]++ // invalidate the in-flight delivery and timeout
+		tr.pending = append(tr.pending, c)
+		tr.res.ReRequests++
+		s.obs.ReRequests.Inc()
+	}
+}
+
+// scheduleRediscover charges one discovery round and asks the locator
+// for fresh replicas, excluding everything already evicted. Discovery
+// may well return nodes that are currently dead — the index is stale
+// by design — in which case their chunks time out and the next round
+// runs; MaxRediscoveries bounds the spiral.
+func (s *Swarm) scheduleRediscover(tr *Transfer) {
+	if tr.done || tr.rediscovering {
+		return
+	}
+	if tr.res.Rediscoveries >= s.cfg.MaxRediscoveries {
+		s.fail(tr)
+		return
+	}
+	tr.rediscovering = true
+	tr.res.Rediscoveries++
+	s.obs.Rediscoveries.Inc()
+	s.eng.Schedule(s.cfg.RediscoverDelay, func() {
+		if tr.done {
+			return
+		}
+		tr.rediscovering = false
+		want := s.cfg.MaxSources - len(tr.sources)
+		if want <= 0 {
+			s.grant(tr)
+			return
+		}
+		srcs := s.loc.Locate(tr.client, tr.man.Object, want, tr.skipSet())
+		if len(srcs) == 0 && len(tr.evicted) > 0 {
+			// Nothing new to be found: forgive prior evictions and
+			// retry them. An evicted replica may have been a false
+			// positive (a slow but live source) or may have rejoined
+			// since — permanently banning every replica would turn one
+			// bad round into a guaranteed failure.
+			forgive := make(map[int]bool, len(tr.sources)+1)
+			forgive[tr.client] = true
+			for _, u := range tr.sources {
+				forgive[u] = true
+			}
+			srcs = s.loc.Locate(tr.client, tr.man.Object, want, forgive)
+			for _, u := range srcs {
+				delete(tr.evicted, u)
+			}
+		}
+		for _, u := range srcs {
+			s.addSource(tr, u)
+		}
+		if len(tr.sources) == 0 {
+			s.scheduleRediscover(tr)
+			return
+		}
+		s.grant(tr)
+	})
+}
+
+// settleStall integrates the open stall interval ending now. finish
+// and fail must call it because they remove the transfer from the
+// active set before the post-event tick hook would account it (and an
+// out-of-event AbortActive never gets a tick hook at all).
+func (s *Swarm) settleStall(tr *Transfer) {
+	if dt := s.eng.Now() - s.lastNow; dt > 0 && tr.stalled {
+		tr.res.StallTime += dt
+	}
+}
+
+func (s *Swarm) finish(tr *Transfer) {
+	s.settleStall(tr)
+	tr.done = true
+	tr.res.Completed = true
+	tr.res.End = s.eng.Now()
+	delete(s.active, tr)
+	s.obs.TransfersCompleted.Inc()
+	s.obs.TransferTime.Observe(toMicros(tr.res.Elapsed()))
+	s.obs.GoodputBps.Observe(int64(tr.res.Goodput() * 1000)) // bytes/ms -> bytes/s
+	s.results = append(s.results, tr.res)
+	if tr.onDone != nil {
+		tr.onDone(tr.res)
+	}
+}
+
+func (s *Swarm) fail(tr *Transfer) {
+	if tr.done {
+		return
+	}
+	s.settleStall(tr)
+	tr.done = true
+	tr.res.Completed = false
+	tr.res.End = s.eng.Now()
+	delete(s.active, tr)
+	s.obs.TransfersFailed.Inc()
+	s.results = append(s.results, tr.res)
+	if tr.onDone != nil {
+		tr.onDone(tr.res)
+	}
+}
+
+// reconcile runs after every engine event: it integrates stall time
+// over the interval since the previous event for transfers that were
+// stalled across it, then re-evaluates each transfer's stall state. A
+// transfer is stalled when it is incomplete and no chunk is in flight
+// on a live source — every outstanding byte is owed by a dead replica
+// or the transfer is waiting out a re-discovery round.
+func (s *Swarm) reconcile(now float64) {
+	dt := now - s.lastNow
+	if dt > 0 {
+		for tr := range s.active {
+			if tr.stalled {
+				tr.res.StallTime += dt
+			}
+		}
+	}
+	s.lastNow = now
+	for tr := range s.active {
+		tr.stalled = !s.liveProgress(tr)
+	}
+}
+
+// liveProgress reports whether any chunk is in flight on a live
+// source.
+func (s *Swarm) liveProgress(tr *Transfer) bool {
+	for src, n := range tr.inflight {
+		if n > 0 && s.live.Alive(src) {
+			return true
+		}
+	}
+	return false
+}
+
+// toMicros converts a simulated-ms duration to integer microseconds
+// for histogram recording.
+func toMicros(ms float64) int64 {
+	if ms <= 0 {
+		return 0
+	}
+	return int64(ms * 1000)
+}

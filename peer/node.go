@@ -147,6 +147,7 @@ type Node struct {
 	dialing   map[string]bool         // dials in flight (refill dedup)
 	denied    map[string]bool         // peers we refuse to dial or accept
 	store     map[uint64]bool         // hosted objects
+	blobs     map[uint64][]byte       // hosted blob payloads for chunk serving
 	seen      map[uint64]bool         // query-id duplicate suppression
 	seenQ     []uint64                // FIFO for seen eviction
 	queries   uint64                  // queries forwarded (stats)
@@ -155,13 +156,14 @@ type Node struct {
 	killed    bool       // Kill() was called: crash semantics, no FIN
 	deadConns []net.Conn // connections left dangling by Kill, reaped by Close
 
-	hits chan Hit
-	abf  *abfState   // attenuated-filter routing state (§4.6)
-	met  nodeMetrics // resolved observability handles (all nil when disabled)
-	rng  *rand.Rand
-	wg   sync.WaitGroup
-	stop chan struct{}
-	kick chan struct{} // eviction happened: run a management round now
+	hits   chan Hit
+	chunks chan ChunkReply // inbound chunk responses for DownloadBlob
+	abf    *abfState       // attenuated-filter routing state (§4.6)
+	met    nodeMetrics     // resolved observability handles (all nil when disabled)
+	rng    *rand.Rand
+	wg     sync.WaitGroup
+	stop   chan struct{}
+	kick   chan struct{} // eviction happened: run a management round now
 }
 
 type pingRef struct {
@@ -232,8 +234,10 @@ func Start(addr string, cfg Config) (*Node, error) {
 		dialing: make(map[string]bool),
 		denied:  make(map[string]bool),
 		store:   make(map[uint64]bool),
+		blobs:   make(map[uint64][]byte),
 		seen:    make(map[uint64]bool),
 		hits:    make(chan Hit, 256),
+		chunks:  make(chan ChunkReply, 1024),
 		abf:     newABFState(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		stop:    make(chan struct{}),
@@ -546,6 +550,17 @@ func (n *Node) readLoop(l *link, r *bufio.Reader) {
 					}
 				}
 				n.mu.Unlock()
+			}
+		case msgChunkRequest:
+			if q, err := decodeChunkReq(f.payload); err == nil {
+				n.handleChunkRequest(l, q)
+			}
+		case msgChunkResponse:
+			if p, err := decodeChunkResp(f.payload); err == nil {
+				select {
+				case n.chunks <- ChunkReply{From: l.addr, Object: p.Object, Chunk: p.Chunk, OK: p.Status == chunkOK, Data: p.Data}:
+				default: // downloader not draining; the chunk timeout recovers
+				}
 			}
 		case msgFilterPush:
 			n.handleFilterPush(l, f.payload)

@@ -1,0 +1,365 @@
+package peer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"makalu/internal/content"
+)
+
+// Chunk transfer message kinds: the streaming workload's frame pair on
+// the existing wire protocol.
+const (
+	msgChunkRequest  = byte(11) // fetch one chunk of a hosted blob
+	msgChunkResponse = byte(12) // the chunk payload, or a miss notice
+)
+
+// maxChunkData caps the payload a single chunk response may carry,
+// comfortably under the frame cap so the 17-byte response header
+// always fits.
+const maxChunkData = 256 << 10
+
+// Chunk response status codes.
+const (
+	chunkOK      = byte(0)
+	chunkMissing = byte(1) // blob absent or range out of bounds
+)
+
+// chunkReqPayload asks for Length bytes at Offset of Object's blob —
+// the requester computes the range from its manifest, so the server
+// needs no chunk-geometry knowledge, just the raw blob.
+type chunkReqPayload struct {
+	Object uint64
+	Chunk  uint32
+	Offset uint64
+	Length uint32
+}
+
+func encodeChunkReq(q chunkReqPayload) []byte {
+	out := make([]byte, 24)
+	binary.LittleEndian.PutUint64(out, q.Object)
+	binary.LittleEndian.PutUint32(out[8:], q.Chunk)
+	binary.LittleEndian.PutUint64(out[12:], q.Offset)
+	binary.LittleEndian.PutUint32(out[20:], q.Length)
+	return out
+}
+
+func decodeChunkReq(b []byte) (chunkReqPayload, error) {
+	if len(b) != 24 {
+		return chunkReqPayload{}, fmt.Errorf("peer: bad chunk request payload")
+	}
+	return chunkReqPayload{
+		Object: binary.LittleEndian.Uint64(b),
+		Chunk:  binary.LittleEndian.Uint32(b[8:]),
+		Offset: binary.LittleEndian.Uint64(b[12:]),
+		Length: binary.LittleEndian.Uint32(b[20:]),
+	}, nil
+}
+
+// chunkRespPayload returns the requested bytes (Status chunkOK) or a
+// miss notice (chunkMissing, empty Data).
+type chunkRespPayload struct {
+	Object uint64
+	Chunk  uint32
+	Status byte
+	Data   []byte
+}
+
+func encodeChunkResp(p chunkRespPayload) []byte {
+	out := make([]byte, 13, 13+len(p.Data))
+	binary.LittleEndian.PutUint64(out, p.Object)
+	binary.LittleEndian.PutUint32(out[8:], p.Chunk)
+	out[12] = p.Status
+	return append(out, p.Data...)
+}
+
+func decodeChunkResp(b []byte) (chunkRespPayload, error) {
+	if len(b) < 13 {
+		return chunkRespPayload{}, fmt.Errorf("peer: short chunk response payload")
+	}
+	if len(b)-13 > maxChunkData {
+		return chunkRespPayload{}, fmt.Errorf("peer: oversized chunk response (%d bytes)", len(b)-13)
+	}
+	p := chunkRespPayload{
+		Object: binary.LittleEndian.Uint64(b),
+		Chunk:  binary.LittleEndian.Uint32(b[8:]),
+		Status: b[12],
+	}
+	if len(b) > 13 {
+		p.Data = append([]byte(nil), b[13:]...)
+	}
+	return p, nil
+}
+
+// ChunkReply is one chunk response surfaced to a downloader.
+type ChunkReply struct {
+	From   string // sender's listen address
+	Object uint64
+	Chunk  uint32
+	OK     bool
+	Data   []byte
+}
+
+// AddBlob hosts a blob for chunk serving and announces the object in
+// the node's store (so floods and identifier routing find it, exactly
+// like AddObject).
+func (n *Node) AddBlob(obj uint64, data []byte) {
+	n.mu.Lock()
+	n.blobs[obj] = data
+	n.store[obj] = true
+	n.mu.Unlock()
+}
+
+// handleChunkRequest answers one chunk fetch from the hosted blob.
+func (n *Node) handleChunkRequest(l *link, q chunkReqPayload) {
+	n.mu.Lock()
+	blob, ok := n.blobs[q.Object]
+	n.mu.Unlock()
+	resp := chunkRespPayload{Object: q.Object, Chunk: q.Chunk, Status: chunkMissing}
+	if ok && q.Length > 0 && q.Length <= maxChunkData {
+		end := q.Offset + uint64(q.Length)
+		if end <= uint64(len(blob)) && q.Offset <= end {
+			resp.Status = chunkOK
+			resp.Data = blob[q.Offset:end]
+		}
+	}
+	l.send(msgChunkResponse, encodeChunkResp(resp))
+}
+
+// sendChunkRequest issues a chunk fetch to the neighbor at addr,
+// dialing it first if no link exists.
+func (n *Node) sendChunkRequest(addr string, q chunkReqPayload) error {
+	n.mu.Lock()
+	l := n.conns[addr]
+	n.mu.Unlock()
+	if l == nil {
+		if err := n.Connect(addr); err != nil {
+			return err
+		}
+		n.mu.Lock()
+		l = n.conns[addr]
+		n.mu.Unlock()
+		if l == nil {
+			return fmt.Errorf("peer: no link to %s", addr)
+		}
+	}
+	return l.send(msgChunkRequest, encodeChunkReq(q))
+}
+
+// DownloadConfig parameterizes DownloadBlob.
+type DownloadConfig struct {
+	// ChunkTimeout is the per-chunk deadline; a source that misses it
+	// is dropped and its in-flight chunks are re-requested elsewhere.
+	// Default 2s.
+	ChunkTimeout time.Duration
+	// Window caps concurrently outstanding chunk requests (spread
+	// round-robin over the sources). Default 4.
+	Window int
+	// MaxAttempts bounds request attempts per chunk before the
+	// download fails. Default 3 × len(sources), at least 6.
+	MaxAttempts int
+	// OnChunk, when non-nil, runs synchronously after each verified
+	// chunk with its index and serving address — tests use it to kill
+	// a replica at a precise point mid-transfer.
+	OnChunk func(chunk int, from string)
+}
+
+func (cfg DownloadConfig) withDefaults(sources int) DownloadConfig {
+	if cfg.ChunkTimeout <= 0 {
+		cfg.ChunkTimeout = 2 * time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3 * sources
+		if cfg.MaxAttempts < 6 {
+			cfg.MaxAttempts = 6
+		}
+	}
+	return cfg
+}
+
+// DownloadStats reports how a download went.
+type DownloadStats struct {
+	Bytes          int64
+	Elapsed        time.Duration
+	TTFB           time.Duration // -1 when no chunk ever arrived
+	ReRequests     int           // chunks re-requested after a source was dropped
+	SourcesDropped int
+}
+
+// inflightReq tracks one outstanding chunk request.
+type inflightReq struct {
+	src      string
+	deadline time.Time
+}
+
+// DownloadBlob fetches the object described by man from the given
+// replica addresses, pulling chunks round-robin with a bounded window,
+// verifying each against the manifest, dropping sources that miss
+// their per-chunk deadline and re-requesting their chunks from the
+// survivors. It returns the assembled, fully verified payload.
+//
+// Chunk data is content-verified, so a late reply from a dropped
+// source still counts. One DownloadBlob runs per node at a time: the
+// node's chunk-reply stream is a single channel.
+func (n *Node) DownloadBlob(man content.Manifest, sources []string, cfg DownloadConfig) ([]byte, DownloadStats, error) {
+	start := time.Now()
+	stats := DownloadStats{TTFB: -1}
+	if man.Size <= 0 || man.NumChunks() == 0 {
+		return nil, stats, fmt.Errorf("peer: empty manifest")
+	}
+	if len(sources) == 0 {
+		return nil, stats, fmt.Errorf("peer: no sources")
+	}
+	cfg = cfg.withDefaults(len(sources))
+
+	// Drop leftovers from a previous download; hash verification makes
+	// stale replies harmless, this just keeps the buffer free.
+	for {
+		select {
+		case <-n.chunks:
+			continue
+		default:
+		}
+		break
+	}
+
+	nc := man.NumChunks()
+	out := make([]byte, man.Size)
+	done := make([]bool, nc)
+	attempts := make([]int, nc)
+	pending := make([]int, nc)
+	for i := range pending {
+		pending[i] = i
+	}
+	remaining := nc
+	inflight := make(map[int]inflightReq)
+	live := append([]string(nil), sources...)
+	next := 0 // round-robin cursor over live
+
+	dropSource := func(addr string) {
+		found := false
+		for i, a := range live {
+			if a == addr {
+				live = append(live[:i], live[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+		stats.SourcesDropped++
+		if next >= len(live) {
+			next = 0
+		}
+		for c, req := range inflight {
+			if req.src == addr {
+				delete(inflight, c)
+				pending = append(pending, c)
+				stats.ReRequests++
+			}
+		}
+	}
+
+	timer := time.NewTimer(cfg.ChunkTimeout)
+	defer timer.Stop()
+
+	for remaining > 0 {
+		// Fill the window.
+		for len(inflight) < cfg.Window && len(pending) > 0 {
+			if len(live) == 0 {
+				return nil, stats, fmt.Errorf("peer: all %d sources dropped with %d chunks missing", len(sources), remaining)
+			}
+			c := pending[0]
+			pending = pending[1:]
+			if done[c] {
+				continue
+			}
+			attempts[c]++
+			if attempts[c] > cfg.MaxAttempts {
+				return nil, stats, fmt.Errorf("peer: chunk %d failed after %d attempts", c, cfg.MaxAttempts)
+			}
+			src := live[next%len(live)]
+			next++
+			err := n.sendChunkRequest(src, chunkReqPayload{
+				Object: man.Object,
+				Chunk:  uint32(c),
+				Offset: uint64(man.ChunkOffset(c)),
+				Length: uint32(man.ChunkLen(c)),
+			})
+			if err != nil {
+				pending = append(pending, c)
+				attempts[c]-- // a failed send is not a lost request
+				dropSource(src)
+				continue
+			}
+			inflight[c] = inflightReq{src: src, deadline: time.Now().Add(cfg.ChunkTimeout)}
+		}
+		if len(inflight) == 0 {
+			if len(live) == 0 || len(pending) == 0 {
+				return nil, stats, fmt.Errorf("peer: download stalled with %d chunks missing", remaining)
+			}
+			continue
+		}
+
+		// Wait for the next reply or the earliest deadline.
+		earliest := time.Time{}
+		for _, req := range inflight {
+			if earliest.IsZero() || req.deadline.Before(earliest) {
+				earliest = req.deadline
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(time.Until(earliest))
+
+		select {
+		case rep := <-n.chunks:
+			c := int(rep.Chunk)
+			if rep.Object != man.Object || c < 0 || c >= nc || done[c] {
+				continue
+			}
+			if !rep.OK || !man.VerifyChunk(c, rep.Data) {
+				// The source answered but cannot (or corruptly) serve:
+				// re-request elsewhere.
+				if req, ok := inflight[c]; ok && req.src == rep.From {
+					delete(inflight, c)
+					pending = append(pending, c)
+					stats.ReRequests++
+					dropSource(rep.From)
+				}
+				continue
+			}
+			copy(out[man.ChunkOffset(c):], rep.Data)
+			done[c] = true
+			delete(inflight, c)
+			remaining--
+			stats.Bytes += int64(len(rep.Data))
+			if stats.TTFB < 0 {
+				stats.TTFB = time.Since(start)
+			}
+			if cfg.OnChunk != nil {
+				cfg.OnChunk(c, rep.From)
+			}
+		case <-timer.C:
+			now := time.Now()
+			for _, req := range inflight {
+				if !req.deadline.After(now) {
+					dropSource(req.src)
+				}
+			}
+		case <-n.stop:
+			return nil, stats, fmt.Errorf("peer: node closed mid-download")
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return out, stats, nil
+}
