@@ -1,0 +1,153 @@
+// Command makalu-gateway fronts a replicated tier of makalu-node serve
+// backends: it routes each lookup to a backend by consistent hash of
+// the request key (so every backend's result cache sees a stable slice
+// of the keyspace), health-checks the set and evicts/rejoins members,
+// retries transport failures on the next ring replica, and hedges slow
+// requests — all safe because serve answers are a pure function of
+// (seed, epoch, key), so any replica's reply is bit-identical.
+//
+// Typical tier:
+//
+//	makalu-node -serve-tcp :9101 -serve-http :9201 -rng-seed 1 &
+//	makalu-node -serve-tcp :9102 -serve-http :9202 -rng-seed 1 &
+//	makalu-node -serve-tcp :9103 -serve-http :9203 -rng-seed 1 &
+//	makalu-gateway -tcp :9100 -http :9200 \
+//	    -backends 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103 \
+//	    -backend-http 127.0.0.1:9201,127.0.0.1:9202,127.0.0.1:9203
+//	makalu-loadgen -tcp 127.0.0.1:9100 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"makalu/internal/gateway"
+	"makalu/internal/obs"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		tcpAddr     = flag.String("tcp", "", "serve the line protocol to clients on this address")
+		httpAddr    = flag.String("http", "", "serve /healthz and /objects on this address")
+		backends    = flag.String("backends", "", "comma-separated backend TCP (line protocol) addresses (required)")
+		backendHTTP = flag.String("backend-http", "", "comma-separated backend HTTP addresses, aligned with -backends (empty entries probe via TCP Z)")
+		route       = flag.String("route", gateway.RouteHash, "routing policy: hash (key affinity) or random (uniform spray)")
+		vnodes      = flag.Int("vnodes", gateway.DefaultVNodes, "virtual nodes per backend on the hash ring")
+		pool        = flag.Int("pool", 4, "pipelined connections per backend")
+		noHedge     = flag.Bool("no-hedge", false, "disable hedged requests")
+		hedgeMin    = flag.Duration("hedge-min", time.Millisecond, "hedge delay floor")
+		hedgeMax    = flag.Duration("hedge-max", 50*time.Millisecond, "hedge delay ceiling (used until p99 data exists)")
+		healthIvl   = flag.Duration("health-interval", 500*time.Millisecond, "health probe period")
+		failThresh  = flag.Int("fail-threshold", 2, "consecutive failures (probe or forward) that evict a backend")
+		maxQueue    = flag.Int("max-queue-depth", 0, "evict a backend whose reported queue depth exceeds this (0 = off)")
+		staleEvicts = flag.Bool("stale-epoch-evicts", false, "evict backends reporting an older overlay epoch than their peers")
+		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-reply backend read deadline")
+		debug       = flag.Bool("debug", false, "expose /debug/metrics and /debug/pprof over HTTP")
+	)
+	flag.Parse()
+	if *tcpAddr == "" && *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "makalu-gateway: need -tcp and/or -http to serve on")
+		return 2
+	}
+	specs, err := parseBackends(*backends, *backendHTTP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "makalu-gateway:", err)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	gw, err := gateway.New(gateway.Config{
+		Backends:         specs,
+		Route:            *route,
+		VNodes:           *vnodes,
+		PoolSize:         *pool,
+		NoHedge:          *noHedge,
+		HedgeMin:         *hedgeMin,
+		HedgeMax:         *hedgeMax,
+		HealthInterval:   *healthIvl,
+		FailThreshold:    *failThresh,
+		MaxQueueDepth:    *maxQueue,
+		StaleEpochEvicts: *staleEvicts,
+		ReadTimeout:      *readTimeout,
+		Metrics:          reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "makalu-gateway:", err)
+		return 1
+	}
+	defer gw.Close()
+	fmt.Printf("gateway over %d backends (route=%s, %d vnodes, pool %d)\n",
+		len(specs), *route, *vnodes, *pool)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = gateway.NewHTTPServer(*httpAddr, gateway.NewHTTPHandler(gateway.HTTPConfig{
+			Gateway: gw, Metrics: reg, Debug: *debug,
+		}))
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "http: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving HTTP on %s\n", *httpAddr)
+	}
+	var tcpSrv *gateway.TCPServer
+	if *tcpAddr != "" {
+		tcpSrv, err = gateway.NewTCPServer(*tcpAddr, gw, gateway.TCPConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "makalu-gateway:", err)
+			return 1
+		}
+		fmt.Printf("serving TCP lookups on %s\n", tcpSrv.Addr())
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sigs
+	fmt.Printf("received %v, shutting down\n", s)
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	if tcpSrv != nil {
+		tcpSrv.Close()
+	}
+	return 0
+}
+
+// parseBackends zips the -backends and -backend-http lists into specs.
+// The HTTP list may be shorter (or absent); missing or empty entries
+// mean the health checker probes that backend over TCP with Z.
+func parseBackends(tcpList, httpList string) ([]gateway.BackendSpec, error) {
+	if strings.TrimSpace(tcpList) == "" {
+		return nil, fmt.Errorf("need -backends host:port[,host:port...]")
+	}
+	addrs := strings.Split(tcpList, ",")
+	var https []string
+	if strings.TrimSpace(httpList) != "" {
+		https = strings.Split(httpList, ",")
+		if len(https) != len(addrs) {
+			return nil, fmt.Errorf("-backend-http has %d entries, -backends has %d — lists must align", len(https), len(addrs))
+		}
+	}
+	specs := make([]gateway.BackendSpec, 0, len(addrs))
+	for i, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("empty entry %d in -backends", i)
+		}
+		spec := gateway.BackendSpec{Addr: a}
+		if https != nil {
+			spec.HTTP = strings.TrimSpace(https[i])
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}

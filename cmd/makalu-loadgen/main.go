@@ -10,6 +10,17 @@
 // endpoint; the load itself goes over HTTP (-proto http) or the raw
 // TCP line protocol (-proto tcp, the low-overhead path).
 //
+// Both -http and -tcp accept comma-separated address lists; worker w
+// drives target w mod len(targets), so a replicated tier can be loaded
+// either through the gateway (one address) or spread directly over the
+// backends (N addresses — the no-affinity comparison point).
+//
+// -verify-out records every accepted answer (found, hop, messages,
+// visited) per object; -verify-against replays a recorded file and
+// fails on any bit-level mismatch — the purity check that a gateway,
+// any backend replica, and a single direct daemon all serve identical
+// results.
+//
 // Usage:
 //
 //	makalu-node -serve-http 127.0.0.1:8080 -serve-tcp 127.0.0.1:8081 &
@@ -41,8 +52,8 @@ func main() {
 
 func realMain() int {
 	var (
-		httpAddr = flag.String("http", "127.0.0.1:8080", "daemon HTTP address (catalog fetch; HTTP load)")
-		tcpAddr  = flag.String("tcp", "", "daemon TCP line-protocol address (required for -proto tcp)")
+		httpAddr = flag.String("http", "127.0.0.1:8080", "daemon HTTP address(es), comma-separated (catalog from the first; HTTP load round-robins workers)")
+		tcpAddr  = flag.String("tcp", "", "daemon TCP line-protocol address(es), comma-separated (required for -proto tcp)")
 		proto    = flag.String("proto", "http", "load path: http or tcp")
 		queries  = flag.Int("queries", 50000, "total queries to send")
 		conns    = flag.Int("conns", 4, "concurrent connections/clients")
@@ -56,6 +67,8 @@ func realMain() int {
 		baseline = flag.String("baseline", "", "committed BENCH_serve.json to gate against; exit non-zero on regression")
 		qpsTol   = flag.Float64("min-qps-factor", 0.5, "measured QPS must be >= this fraction of the baseline row's")
 		p99Tol   = flag.Float64("max-p99-factor", 2.0, "measured p99 must be <= this multiple of the baseline row's")
+		verOut   = flag.String("verify-out", "", "record accepted answers (found/hop/messages/visited per object) into this JSON file")
+		verIn    = flag.String("verify-against", "", "compare accepted answers against this recorded file; any mismatch fails the run")
 	)
 	flag.Parse()
 
@@ -68,17 +81,23 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "bad -proto %q (want http or tcp)\n", *proto)
 		return 2
 	}
-	if *proto == "tcp" && *tcpAddr == "" {
-		fmt.Fprintln(os.Stderr, "-proto tcp needs -tcp <addr>")
+	httpAddrs := splitAddrs(*httpAddr)
+	tcpAddrs := splitAddrs(*tcpAddr)
+	if *proto == "tcp" && len(tcpAddrs) == 0 {
+		fmt.Fprintln(os.Stderr, "-proto tcp needs -tcp <addr>[,<addr>...]")
+		return 2
+	}
+	if len(httpAddrs) == 0 {
+		fmt.Fprintln(os.Stderr, "need -http <addr> for the catalog fetch")
 		return 2
 	}
 
-	objects, err := fetchCatalog(*httpAddr)
+	objects, err := fetchCatalog(httpAddrs[0])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "catalog fetch: %v\n", err)
 		return 1
 	}
-	fmt.Printf("catalog: %d objects from %s\n", len(objects), *httpAddr)
+	fmt.Printf("catalog: %d objects from %s\n", len(objects), httpAddrs[0])
 
 	// The workload is the trace model's Zipf draw order, shared across
 	// connections: worker w sends events w, w+conns, w+2*conns, ... so
@@ -100,17 +119,33 @@ func realMain() int {
 		work[i] = objects[ev.Object]
 	}
 
-	res, err := run(*proto, *httpAddr, *tcpAddr, work, mech, *ttl, *conns, *rate)
+	res, err := run(*proto, httpAddrs, tcpAddrs, work, mech, *ttl, *conns, *rate)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	row := res.row(*label, *proto, mech.String(), *ttl, *zipf, *conns, *seed, len(objects))
+	if *verIn != "" {
+		verified, err := verifyAgainst(*verIn, res.answers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "VERIFY FAILED: %v\n", err)
+			return 1
+		}
+		row.Verified = verified
+		fmt.Printf("verified %d answers bit-identical against %s\n", verified, *verIn)
+	}
 	fmt.Printf("%s: %d ok (%d shed, %d limited, %d errors) in %.2fs — %.0f qps, "+
 		"p50 %.3fms p99 %.3fms p999 %.3fms, cache hit %.1f%%, found %.1f%%\n",
 		rowName(row), row.OK, row.Shed, row.RateLimited, row.Errors, row.WallSeconds,
 		row.QPS, row.P50Ms, row.P99Ms, row.P999Ms, 100*row.CacheHitRate, 100*row.FoundRate)
 
+	if *verOut != "" {
+		if err := writeAnswers(*verOut, res.answers); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *verOut, err)
+			return 1
+		}
+		fmt.Printf("%d answers recorded into %s\n", len(res.answers), *verOut)
+	}
 	if *jsonOut != "" {
 		if err := mergeRow(*jsonOut, row); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
@@ -158,6 +193,18 @@ func fetchCatalog(httpAddr string) ([]uint64, error) {
 	return out, nil
 }
 
+// answer is the deterministic part of one accepted reply — everything
+// but the cache-hit bit, which legitimately varies between servers.
+// By the serve purity contract, two accepted answers for the same
+// object (same mech/ttl/seed/epoch) must be identical, whoever served
+// them.
+type answer struct {
+	Found    bool `json:"found"`
+	Hop      int  `json:"hop"`
+	Messages int  `json:"messages"`
+	Visited  int  `json:"visited"`
+}
+
 // result aggregates one run; latencies hold only accepted (H/200)
 // requests, so percentiles measure served quality, not shed turnaround.
 type result struct {
@@ -169,12 +216,24 @@ type result struct {
 	errors    int
 	hits      int
 	found     int
+	answers   map[uint64]answer
 }
 
-func run(proto, httpAddr, tcpAddr string, work []uint64, mech serve.Mechanism, ttl, conns int, rate float64) (*result, error) {
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func run(proto string, httpAddrs, tcpAddrs []string, work []uint64, mech serve.Mechanism, ttl, conns int, rate float64) (*result, error) {
 	type shard struct {
 		lats                                     []time.Duration
 		ok, shed, limited, errorsN, hits, foundN int
+		answers                                  map[uint64]answer
 	}
 	shards := make([]shard, conns)
 	var wg sync.WaitGroup
@@ -185,10 +244,10 @@ func run(proto, httpAddr, tcpAddr string, work []uint64, mech serve.Mechanism, t
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var send func(obj uint64) (status byte, cacheHit, found bool, err error)
+			var send func(obj uint64) (status byte, cacheHit bool, ans answer, err error)
 			switch proto {
 			case "tcp":
-				conn, err := net.Dial("tcp", tcpAddr)
+				conn, err := net.Dial("tcp", tcpAddrs[w%len(tcpAddrs)])
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -199,53 +258,58 @@ func run(proto, httpAddr, tcpAddr string, work []uint64, mech serve.Mechanism, t
 				}
 				defer conn.Close()
 				r := bufio.NewReaderSize(conn, 16<<10)
-				send = func(obj uint64) (byte, bool, bool, error) {
+				send = func(obj uint64) (byte, bool, answer, error) {
 					if _, err := fmt.Fprintf(conn, "Q %s %d %d\n", mech, obj, ttl); err != nil {
-						return 0, false, false, err
+						return 0, false, answer{}, err
 					}
 					line, err := r.ReadString('\n')
 					if err != nil {
-						return 0, false, false, err
+						return 0, false, answer{}, err
 					}
 					return parseTCPReply(line)
 				}
 			default:
 				client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
 				clientID := fmt.Sprintf("loadgen-%d", w)
-				base := fmt.Sprintf("http://%s/lookup?mech=%s&ttl=%d&obj=", httpAddr, mech, ttl)
-				send = func(obj uint64) (byte, bool, bool, error) {
+				base := fmt.Sprintf("http://%s/lookup?mech=%s&ttl=%d&obj=",
+					httpAddrs[w%len(httpAddrs)], mech, ttl)
+				send = func(obj uint64) (byte, bool, answer, error) {
 					req, err := http.NewRequest(http.MethodGet, base+strconv.FormatUint(obj, 10), nil)
 					if err != nil {
-						return 0, false, false, err
+						return 0, false, answer{}, err
 					}
 					req.Header.Set("X-Makalu-Client", clientID)
 					resp, err := client.Do(req)
 					if err != nil {
-						return 0, false, false, err
+						return 0, false, answer{}, err
 					}
 					defer resp.Body.Close()
 					switch resp.StatusCode {
 					case http.StatusOK:
 						var reply serve.LookupReply
 						if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-							return 0, false, false, err
+							return 0, false, answer{}, err
 						}
-						return 'H', reply.CacheHit, reply.Found, nil
+						return 'H', reply.CacheHit, answer{
+							Found: reply.Found, Hop: reply.FirstMatchHop,
+							Messages: reply.Messages, Visited: reply.Visited,
+						}, nil
 					case http.StatusTooManyRequests:
 						var er struct {
 							Reason string `json:"reason"`
 						}
 						_ = json.NewDecoder(resp.Body).Decode(&er)
 						if er.Reason == "rate" {
-							return 'R', false, false, nil
+							return 'R', false, answer{}, nil
 						}
-						return 'S', false, false, nil
+						return 'S', false, answer{}, nil
 					default:
-						return 'E', false, false, nil
+						return 'E', false, answer{}, nil
 					}
 				}
 			}
 			sh := &shards[w]
+			sh.answers = make(map[uint64]answer)
 			for i := w; i < len(work); i += conns {
 				if rate > 0 {
 					// Open loop: request i is due at i/rate seconds.
@@ -255,7 +319,7 @@ func run(proto, httpAddr, tcpAddr string, work []uint64, mech serve.Mechanism, t
 					}
 				}
 				t0 := time.Now()
-				status, cacheHit, found, err := send(work[i])
+				status, cacheHit, ans, err := send(work[i])
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -271,9 +335,18 @@ func run(proto, httpAddr, tcpAddr string, work []uint64, mech serve.Mechanism, t
 					if cacheHit {
 						sh.hits++
 					}
-					if found {
+					if ans.Found {
 						sh.foundN++
 					}
+					if prev, seen := sh.answers[work[i]]; seen && prev != ans {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("object %#x answered %+v then %+v — purity violation", work[i], prev, ans)
+						}
+						errMu.Unlock()
+						return
+					}
+					sh.answers[work[i]] = ans
 				case 'S':
 					sh.shed++
 				case 'R':
@@ -288,7 +361,7 @@ func run(proto, httpAddr, tcpAddr string, work []uint64, mech serve.Mechanism, t
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	res := &result{wall: time.Since(start)}
+	res := &result{wall: time.Since(start), answers: make(map[uint64]answer)}
 	for i := range shards {
 		sh := &shards[i]
 		res.latencies = append(res.latencies, sh.lats...)
@@ -298,29 +371,106 @@ func run(proto, httpAddr, tcpAddr string, work []uint64, mech serve.Mechanism, t
 		res.errors += sh.errorsN
 		res.hits += sh.hits
 		res.found += sh.foundN
+		for obj, ans := range sh.answers {
+			if prev, seen := res.answers[obj]; seen && prev != ans {
+				return nil, fmt.Errorf("object %#x answered %+v by one worker, %+v by another — purity violation", obj, prev, ans)
+			}
+			res.answers[obj] = ans
+		}
 	}
 	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
 	return res, nil
 }
 
-// parseTCPReply classifies one line-protocol response.
-func parseTCPReply(line string) (status byte, cacheHit, found bool, err error) {
+// parseTCPReply classifies one line-protocol response and, for H,
+// extracts the full deterministic answer.
+func parseTCPReply(line string) (status byte, cacheHit bool, ans answer, err error) {
 	fields := strings.Fields(strings.TrimRight(line, "\n"))
 	if len(fields) == 0 {
-		return 0, false, false, fmt.Errorf("empty reply")
+		return 0, false, answer{}, fmt.Errorf("empty reply")
 	}
 	switch fields[0] {
 	case "H":
 		if len(fields) != 6 {
-			return 0, false, false, fmt.Errorf("bad H reply %q", line)
+			return 0, false, answer{}, fmt.Errorf("bad H reply %q", line)
 		}
-		return 'H', fields[5] == "1", fields[1] == "1", nil
+		ans.Found = fields[1] == "1"
+		for _, f := range []struct {
+			dst *int
+			s   string
+		}{{&ans.Hop, fields[2]}, {&ans.Messages, fields[3]}, {&ans.Visited, fields[4]}} {
+			v, err := strconv.Atoi(f.s)
+			if err != nil {
+				return 0, false, answer{}, fmt.Errorf("bad H reply %q: %v", line, err)
+			}
+			*f.dst = v
+		}
+		return 'H', fields[5] == "1", ans, nil
 	case "S":
-		return 'S', false, false, nil
+		return 'S', false, answer{}, nil
 	case "R":
-		return 'R', false, false, nil
+		return 'R', false, answer{}, nil
 	case "E":
-		return 'E', false, false, nil
+		return 'E', false, answer{}, nil
 	}
-	return 0, false, false, fmt.Errorf("unknown reply %q", line)
+	return 0, false, answer{}, fmt.Errorf("unknown reply %q", line)
+}
+
+// answersDoc is the -verify-out / -verify-against file: object id
+// (decimal string key; JSON objects cannot key on numbers) -> answer.
+type answersDoc struct {
+	Answers map[string]answer `json:"answers"`
+}
+
+func writeAnswers(path string, answers map[uint64]answer) error {
+	doc := answersDoc{Answers: make(map[string]answer, len(answers))}
+	for obj, ans := range answers {
+		doc.Answers[strconv.FormatUint(obj, 10)] = ans
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// verifyAgainst compares this run's accepted answers with a recorded
+// file on their common objects. Any differing field is a purity-
+// contract violation (the two servers computed different results for
+// the same key) and fails the run; disjoint objects are fine — shed
+// requests and different Zipf tails shrink the intersection, they do
+// not fake agreement.
+func verifyAgainst(path string, got map[uint64]answer) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc answersDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %v", path, err)
+	}
+	verified := 0
+	for objStr, want := range doc.Answers {
+		obj, err := strconv.ParseUint(objStr, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad object key %q", path, objStr)
+		}
+		ans, ok := got[obj]
+		if !ok {
+			continue
+		}
+		if ans != want {
+			return 0, fmt.Errorf("object %s: got %+v, recorded %+v", objStr, ans, want)
+		}
+		verified++
+	}
+	if verified == 0 {
+		return 0, fmt.Errorf("no overlapping objects with %s — nothing verified", path)
+	}
+	return verified, nil
 }

@@ -32,6 +32,9 @@ type Row struct {
 	P999Ms       float64 `json:"p999_ms"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	FoundRate    float64 `json:"found_rate"`
+	// Verified counts answers cross-checked bit-identical against a
+	// -verify-against recording (0 when verification was not requested).
+	Verified int `json:"verified,omitempty"`
 }
 
 func rowName(r Row) string {

@@ -159,6 +159,10 @@ type Config struct {
 	// much inside the worker. Test hook: makes saturation deterministic
 	// for the load-shed tests without relying on machine speed.
 	testDelay time.Duration
+	// testOnExecute is called inside the shard worker immediately
+	// before a kernel execution. Test hook: the singleflight test uses
+	// it to count kernel calls and to hold the worker at a known point.
+	testOnExecute func(Request)
 }
 
 // snapshot is the immutable serving state one epoch runs over; a
@@ -183,12 +187,26 @@ var pendingPool = sync.Pool{
 	New: func() any { return &pending{done: make(chan Response, 1)} },
 }
 
+// flight is one in-progress kernel execution a group of identical-key
+// lookups shares: the first miss (the leader) enqueues the work, later
+// misses for the same key park on done instead of enqueuing a
+// duplicate. Safe because a response is a pure function of
+// (seed, epoch, key) — every waiter would have computed the identical
+// result, so handing them the leader's answer is value-neutral.
+type flight struct {
+	done chan struct{} // closed by the leader once resp/err are set
+	resp Response
+	err  error
+}
+
 // shard is one serving lane: a bounded queue, a worker-owned kernel
-// (created inside the worker goroutine), and a cache partition.
+// (created inside the worker goroutine), a cache partition, and the
+// in-flight table for miss coalescing.
 type shard struct {
-	queue chan *pending
-	mu    sync.Mutex // guards cache
-	cache *slru      // nil when caching is off
+	queue   chan *pending
+	mu      sync.Mutex         // guards cache and flights
+	cache   *slru              // nil when caching is off
+	flights map[uint64]*flight // key -> in-progress computation
 }
 
 // Engine is the query-serving core. Frontends (HTTP, TCP line
@@ -207,6 +225,7 @@ type Engine struct {
 	requests  *obs.Counter
 	hits      *obs.Counter
 	misses    *obs.Counter
+	coalesced *obs.Counter
 	shed      *obs.Counter
 	errs      *obs.Counter
 	latency   *obs.Histogram
@@ -254,6 +273,7 @@ func New(cfg Config) (*Engine, error) {
 		e.requests = reg.Counter("serve.requests")
 		e.hits = reg.Counter("serve.cache_hits")
 		e.misses = reg.Counter("serve.cache_misses")
+		e.coalesced = reg.Counter("serve.coalesced")
 		e.shed = reg.Counter("serve.shed")
 		e.errs = reg.Counter("serve.errors")
 		e.latency = reg.Histogram("serve.latency_ns")
@@ -270,7 +290,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	for i := range e.shards {
-		sh := &shard{queue: make(chan *pending, cfg.QueueDepth)}
+		sh := &shard{queue: make(chan *pending, cfg.QueueDepth), flights: make(map[uint64]*flight)}
 		if perShard > 0 {
 			sh.cache = newSLRU(perShard, cfg.CacheProtectedFrac)
 		}
@@ -341,9 +361,13 @@ func (e *Engine) UpdateSnapshot(g *graph.Graph, store *content.Store, abf *searc
 }
 
 // Lookup serves one request: validate, consult the shard's cache, and
-// on a miss run it through the shard worker's kernel. Blocks until the
-// result is ready; sheds with ErrOverloaded when the shard queue is
-// full.
+// on a miss run it through the shard worker's kernel — unless an
+// identical-key miss is already in flight, in which case this call
+// parks on it and shares the one kernel execution (singleflight miss
+// coalescing). Blocks until the result is ready; sheds with
+// ErrOverloaded when the shard queue is full. A coalesced group sheds
+// together: if the leader's enqueue is refused, every waiter gets
+// ErrOverloaded too.
 func (e *Engine) Lookup(req Request) (Response, error) {
 	snap := e.snap.Load()
 	if err := e.validate(&req, snap); err != nil {
@@ -364,11 +388,13 @@ func (e *Engine) Lookup(req Request) (Response, error) {
 		e.mu.RUnlock()
 		return Response{}, ErrClosed
 	}
+	// Cache probe and flight join/create are one critical section: a
+	// request can never miss both the cache fill and the flight that
+	// produced it.
+	sh.mu.Lock()
 	if sh.cache != nil {
-		sh.mu.Lock()
-		res, ok := sh.cache.get(key, snap.epoch)
-		sh.mu.Unlock()
-		if ok {
+		if res, ok := sh.cache.get(key, snap.epoch); ok {
+			sh.mu.Unlock()
 			e.mu.RUnlock()
 			e.hits.Inc()
 			if e.latency != nil {
@@ -378,6 +404,23 @@ func (e *Engine) Lookup(req Request) (Response, error) {
 		}
 		e.misses.Inc()
 	}
+	if f, ok := sh.flights[key]; ok {
+		// Join the in-flight computation. The response carries the
+		// epoch the leader's execution ran under, which (as for any
+		// request racing a snapshot swap) may trail the epoch this
+		// caller observed.
+		sh.mu.Unlock()
+		e.mu.RUnlock()
+		e.coalesced.Inc()
+		<-f.done
+		if e.latency != nil {
+			e.latency.Since(start)
+		}
+		return f.resp, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flights[key] = f
+	sh.mu.Unlock()
 	p := pendingPool.Get().(*pending)
 	p.req = req
 	p.key = key
@@ -393,14 +436,37 @@ func (e *Engine) Lookup(req Request) (Response, error) {
 		e.mu.RUnlock()
 		pendingPool.Put(p)
 		e.shed.Inc()
+		sh.mu.Lock()
+		delete(sh.flights, key)
+		sh.mu.Unlock()
+		f.err = ErrOverloaded
+		close(f.done)
 		return Response{}, ErrOverloaded
 	}
 	resp := <-p.done
 	pendingPool.Put(p)
+	// Publish to waiters: drop the flight first (the result is already
+	// in the cache, so late arrivals hit), then release them.
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	sh.mu.Unlock()
+	f.resp = resp
+	close(f.done)
 	if e.latency != nil {
 		e.latency.Since(start)
 	}
 	return resp, nil
+}
+
+// QueueDepth returns the total number of admitted-but-unserved
+// requests across all shard queues — the saturation signal /healthz
+// and the TCP Z status line expose to the gateway health checker.
+func (e *Engine) QueueDepth() int {
+	total := 0
+	for _, sh := range e.shards {
+		total += len(sh.queue)
+	}
+	return total
 }
 
 // validate clamps budgets and checks the mechanism is servable.
@@ -489,6 +555,9 @@ func (e *Engine) worker(index int, sh *shard) {
 // pure function of the request and the overlay epoch — the property
 // every cache guarantee rests on.
 func (e *Engine) execute(kern *search.Kernel, snap *snapshot, req Request, key uint64, rng *rand.Rand) search.Result {
+	if e.cfg.testOnExecute != nil {
+		e.cfg.testOnExecute(req)
+	}
 	rng.Seed(keySeed(e.cfg.Seed, snap.epoch, key))
 	src := int(mix64(key^0x9e3779b97f4a7c15) % uint64(snap.g.N()))
 	obj := req.Object

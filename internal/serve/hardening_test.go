@@ -180,11 +180,11 @@ func TestNewHTTPServerTimeouts(t *testing.T) {
 
 // TestParseQueryLine covers the pure parser the fuzz harness drives.
 func TestParseQueryLine(t *testing.T) {
-	req, ok, err := parseQueryLine("Q flood 0x2a 6")
+	req, ok, err := ParseQueryLine("Q flood 0x2a 6")
 	if err != nil || !ok || req.Object != 0x2a || req.TTL != 6 || req.Mech != MechFlood {
 		t.Fatalf("valid line: %+v ok=%v err=%v", req, ok, err)
 	}
-	if _, ok, err := parseQueryLine("   "); ok || err != nil {
+	if _, ok, err := ParseQueryLine("   "); ok || err != nil {
 		t.Fatalf("blank line: ok=%v err=%v", ok, err)
 	}
 	for _, bad := range []string{
@@ -198,7 +198,7 @@ func TestParseQueryLine(t *testing.T) {
 		"Q flood 1 2\nQ walk",         // embedded newline is not a pipeline here
 		strings.Repeat("Q ", 9) + "1", // field spray
 	} {
-		if _, ok, err := parseQueryLine(bad); ok || err == nil {
+		if _, ok, err := ParseQueryLine(bad); ok || err == nil {
 			t.Fatalf("malformed line %q parsed: ok=%v err=%v", bad, ok, err)
 		}
 	}

@@ -78,9 +78,11 @@ func NewHTTPHandler(cfg HTTPConfig) http.Handler {
 		}{cfg.Engine.Epoch(), ids})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// epoch + queue_depth let a gateway health checker tell a
+		// stale-epoch or saturated backend from a merely up one.
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"ok":true,"epoch":%d,"shards":%d}`+"\n",
-			cfg.Engine.Epoch(), cfg.Engine.Shards())
+		fmt.Fprintf(w, `{"ok":true,"epoch":%d,"shards":%d,"queue_depth":%d}`+"\n",
+			cfg.Engine.Epoch(), cfg.Engine.Shards(), cfg.Engine.QueueDepth())
 	})
 	if cfg.Debug {
 		mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {

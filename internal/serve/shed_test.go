@@ -68,6 +68,18 @@ func runPhase(t *testing.T, e *Engine, offsets []time.Duration, keys []uint64) (
 	return lats, int(sheds.Load())
 }
 
+// sameShardDistinctKey finds an object id != obj whose flood request
+// hashes to the same shard as obj's — queued behind it, but not
+// coalesced with it.
+func sameShardDistinctKey(obj uint64, shards int) uint64 {
+	want := (Request{Mech: MechFlood, Object: obj, TTL: 2}).Key() % uint64(shards)
+	for cand := obj + 100000; ; cand++ {
+		if (Request{Mech: MechFlood, Object: cand, TTL: 2}).Key()%uint64(shards) == want {
+			return cand
+		}
+	}
+}
+
 func p99(lats []time.Duration) time.Duration {
 	if len(lats) == 0 {
 		return 0
@@ -85,9 +97,11 @@ func TestLoadShedding(t *testing.T) {
 	defer e.Close()
 
 	// Unloaded phase: ~25% of the 100 req/s capacity. Every 10th
-	// request is fired back-to-back with its predecessor on the SAME
-	// key (same shard), so the unloaded sample honestly includes the
-	// queue-behind-one-request case that defines its p99.
+	// request is fired back-to-back with its predecessor on a DISTINCT
+	// key that hashes to the same shard, so the unloaded sample honestly
+	// includes the queue-behind-one-request case that defines its p99.
+	// (An identical key would no longer queue at all — singleflight
+	// coalescing hands it the predecessor's result in one service time.)
 	const unloadedN = 160
 	offs := make([]time.Duration, unloadedN)
 	keys := make([]uint64, unloadedN)
@@ -97,7 +111,7 @@ func TestLoadShedding(t *testing.T) {
 		keys[i] = uint64(i)
 		if i%10 == 9 {
 			offs[i] = offs[i-1]
-			keys[i] = keys[i-1]
+			keys[i] = sameShardDistinctKey(keys[i-1], len(e.shards))
 		}
 	}
 	unloaded, shedU := runPhase(t, e, offs, keys)

@@ -21,6 +21,11 @@ import (
 //	R <retry_ms>\n   (rate limited)
 //	E <message>\n    (bad request)
 //
+// A bare "Z\n" is the status probe: the server replies
+// "Z <epoch> <queue_depth>\n" so a gateway health checker can detect
+// stale-epoch or saturated backends over the same pooled connection it
+// forwards queries on.
+//
 // One connection is one rate-limit client (keyed by remote address).
 // Replies are written in request order per connection; the writer is
 // flushed only when no further request is buffered, so a pipelined
@@ -141,11 +146,13 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
-// parseQueryLine parses one protocol line into a Request. ok=false
+// ParseQueryLine parses one protocol line into a Request. ok=false
 // with a nil error means a blank line (ignored by the server); an
 // error describes the malformation for the E response. The function is
-// pure — the fuzz harness drives it with arbitrary bytes.
-func parseQueryLine(line string) (req Request, ok bool, err error) {
+// pure — the fuzz harness drives it with arbitrary bytes. Exported so
+// the gateway frontend speaks the exact same grammar (and therefore
+// derives the exact same Request.Key the backends shard and cache on).
+func ParseQueryLine(line string) (req Request, ok bool, err error) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return Request{}, false, nil // blank line: ignore
@@ -169,7 +176,11 @@ func parseQueryLine(line string) (req Request, ok bool, err error) {
 }
 
 func (s *TCPServer) serveLine(w *bufio.Writer, client, line string) {
-	req, ok, perr := parseQueryLine(line)
+	if strings.TrimSpace(line) == "Z" {
+		fmt.Fprintf(w, "Z %d %d\n", s.eng.Epoch(), s.eng.QueueDepth())
+		return
+	}
+	req, ok, perr := ParseQueryLine(line)
 	if perr != nil {
 		fmt.Fprintf(w, "E %s\n", perr)
 		return

@@ -35,7 +35,7 @@ func FuzzParseQueryLine(f *testing.F) {
 	f.Add("Q flood 18446744073709551616 255") // uint64 overflow
 
 	f.Fuzz(func(t *testing.T, line string) {
-		req, ok, err := parseQueryLine(line)
+		req, ok, err := ParseQueryLine(line)
 		if ok && err != nil {
 			t.Fatalf("ok with error: %v", err)
 		}
@@ -47,7 +47,7 @@ func FuzzParseQueryLine(f *testing.F) {
 		}
 		// Accepted requests round-trip through the canonical form.
 		canon := fmt.Sprintf("Q %s %d %d", req.Mech, req.Object, req.TTL)
-		req2, ok2, err2 := parseQueryLine(canon)
+		req2, ok2, err2 := ParseQueryLine(canon)
 		if !ok2 || err2 != nil || req2 != req {
 			t.Fatalf("round trip failed: %q -> %+v -> %q -> %+v (%v)", line, req, canon, req2, err2)
 		}
